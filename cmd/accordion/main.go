@@ -1,0 +1,101 @@
+// Command accordion regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	accordion [-seed N] [-chip N] [-chips N] [list | all | <experiment id>...]
+//
+// Experiment ids correspond to the paper's tables and figures: fig1a,
+// fig1b, fig1c, fig2, fig4, fig5a, fig5b, fig6, fig7, table2, table3,
+// headline, corruption, baselines. `list` prints the available ids;
+// `all` (or no argument) runs everything in presentation order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "master seed for workloads and fault streams")
+		chip   = flag.Int64("chip", 2014, "seed of the representative chip sample")
+		chips  = flag.Int("chips", 20, "Monte-Carlo population size")
+		format = flag.String("format", "text", "output format: text or csv")
+		outDir = flag.String("out", "", "also write each experiment to <out>/<id>.<ext>")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Seed: *seed, ChipSeed: *chip, Chips: *chips}
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "list" {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if len(args) == 0 || (len(args) == 1 && args[0] == "all") {
+		args = experiments.IDs()
+	}
+	reg := experiments.Registry()
+	for _, id := range args {
+		runner, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "accordion: unknown experiment %q (try `accordion list`)\n", id)
+			os.Exit(2)
+		}
+		tables, err := runner(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "accordion: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		render := func(w io.Writer) error {
+			for _, t := range tables {
+				var err error
+				switch *format {
+				case "text":
+					err = t.Render(w)
+				case "csv":
+					err = t.RenderCSV(w)
+				default:
+					return fmt.Errorf("unknown format %q", *format)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "accordion: %v\n", err)
+			os.Exit(2)
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "accordion: %v\n", err)
+				os.Exit(1)
+			}
+			ext := "txt"
+			if *format == "csv" {
+				ext = "csv"
+			}
+			f, err := os.Create(filepath.Join(*outDir, id+"."+ext))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "accordion: %v\n", err)
+				os.Exit(1)
+			}
+			if err := render(f); err != nil {
+				fmt.Fprintf(os.Stderr, "accordion: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "accordion: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

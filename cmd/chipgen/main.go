@@ -1,0 +1,129 @@
+// Command chipgen samples variation-afflicted chips and reports their
+// voltage and frequency landscape: per-cluster VddMIN, the chip-wide
+// VddNTV, and the distribution of safe core frequencies — the raw
+// material of Figures 5a and 5b.
+//
+// Usage:
+//
+//	chipgen [-seed N] [-n N] [-v]
+//
+// With -n > 1 a population summary is printed; -v additionally dumps
+// per-cluster detail for the first chip.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chip"
+	"repro/internal/mathx"
+	"repro/internal/variation"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 2014, "population seed")
+		n        = flag.Int("n", 1, "number of chips to sample")
+		verbose  = flag.Bool("v", false, "per-cluster detail for the first chip")
+		saveFile = flag.String("save", "", "write the first chip as JSON to this path")
+		loadFile = flag.String("load", "", "analyze a previously saved chip instead of sampling")
+		fieldPGM = flag.String("field", "", "render one Vth variation field to this PGM path")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "chipgen: %v\n", err)
+		os.Exit(1)
+	}
+	var pop []*chip.Chip
+	if *loadFile != "" {
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			fail(err)
+		}
+		ch, err := chip.Load(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		pop = []*chip.Chip{ch}
+	} else {
+		factory, err := chip.NewFactory(chip.DefaultConfig())
+		if err != nil {
+			fail(err)
+		}
+		pop = factory.Population(*seed, *n)
+	}
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pop[0].Save(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved chip (seed %d) to %s\n", pop[0].Seed, *saveFile)
+	}
+
+	if *fieldPGM != "" {
+		grid, err := variation.SampleField(48, 48, variation.DefaultVth(), mathx.NewRNG(*seed))
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*fieldPGM)
+		if err != nil {
+			fail(err)
+		}
+		if err := workload.WritePGM(f, grid, -0.35, 0.35); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote 48x48 Vth field (seed %d) to %s\n", *seed, *fieldPGM)
+	}
+
+	var ntvs, allVmin []float64
+	for _, ch := range pop {
+		ntvs = append(ntvs, ch.VddNTV())
+		allVmin = append(allVmin, ch.ClusterVddMINs()...)
+	}
+	lo, hi := mathx.MinMax(allVmin)
+	nlo, nhi := mathx.MinMax(ntvs)
+	fmt.Printf("chips: %d  cores/chip: %d  clusters/chip: %d\n",
+		len(pop), len(pop[0].Cores), pop[0].Cfg.Clusters)
+	fmt.Printf("cluster VddMIN: %.3f-%.3f V (mean %.3f)\n", lo, hi, mathx.Mean(allVmin))
+	fmt.Printf("chip VddNTV:    %.3f-%.3f V (mean %.3f)\n", nlo, nhi, mathx.Mean(ntvs))
+
+	first := pop[0]
+	vdd := first.VddNTV()
+	var safe []float64
+	for i := range first.Cores {
+		safe = append(safe, first.CoreSafeFreq(i, vdd))
+	}
+	fmt.Printf("chip[0] @ VddNTV=%.3f V: safe core f p5/p50/p95 = %.3f/%.3f/%.3f GHz\n",
+		vdd, mathx.Percentile(safe, 5), mathx.Percentile(safe, 50), mathx.Percentile(safe, 95))
+
+	if *verbose {
+		fmt.Printf("\n%8s %10s %12s %12s\n", "cluster", "VddMIN(V)", "slow f(GHz)", "fast f(GHz)")
+		for c := 0; c < first.Cfg.Clusters; c++ {
+			loC, hiC := first.ClusterCores(c)
+			fLo, fHi := 1e9, 0.0
+			for i := loC; i < hiC; i++ {
+				f := first.CoreSafeFreq(i, vdd)
+				if f < fLo {
+					fLo = f
+				}
+				if f > fHi {
+					fHi = f
+				}
+			}
+			fmt.Printf("%8d %10.3f %12.3f %12.3f\n", c, first.ClusterVddMIN(c), fLo, fHi)
+		}
+	}
+}

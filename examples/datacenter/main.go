@@ -1,0 +1,95 @@
+// Datacenter: the multi-programmed scenario of Section 3.3 — Compress
+// is the only Accordion mode where NNTV can stay below NSTV, "useful in
+// heavily loaded multi-programmed environments". Several jobs share one
+// NTV chip; as load rises, each job compresses its problem size so the
+// whole mix still meets every job's STV deadline inside the chip's
+// power budget, trading output quality for co-location.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/power"
+	"repro/internal/rms"
+)
+
+func main() {
+	ch, err := chip.New(chip.DefaultConfig(), 31415)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm := power.NewModel(ch)
+
+	jobNames := []string{"canneal", "hotspot", "srad"}
+	type job struct {
+		bench  rms.Benchmark
+		solver *core.Solver
+	}
+	var jobs []job
+	for _, name := range jobNames {
+		b, err := experiments.BenchmarkByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fronts, err := core.MeasureFronts(b, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := core.NewSolver(ch, pm, b, fronts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, job{b, s})
+	}
+
+	budget := pm.Budget()
+	fmt.Printf("chip: %d cores, %.0f W budget; %d tenant jobs, each with its own STV deadline\n\n",
+		len(ch.Cores), budget, len(jobs))
+
+	// Sweep the compression each tenant accepts; find the load levels
+	// at which the mix fits the chip (cores and power).
+	fmt.Printf("%12s %10s %10s %10s %12s %10s\n",
+		"compression", "sum cores", "power(W)", "fits?", "worst qual", "mean eff")
+	var firstFit float64
+	for _, ps := range []float64{1.0, 0.8, 0.65, 0.5, 0.4, 0.32} {
+		totalCores, totalPower := 0, 0.0
+		worstQ, meanEff := 1e9, 0.0
+		feasible := true
+		for _, j := range jobs {
+			// Input achieving the target relative problem size.
+			input := j.bench.DefaultInput() * ps
+			op, err := j.solver.Solve(input, core.Safe)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !op.Feasible && op.Limit == "cores" {
+				feasible = false
+			}
+			totalCores += op.N
+			totalPower += op.Power
+			if op.RelQuality < worstQ {
+				worstQ = op.RelQuality
+			}
+			meanEff += op.RelMIPSPerWatt
+		}
+		meanEff /= float64(len(jobs))
+		fits := feasible && totalCores <= len(ch.Cores) && totalPower <= budget
+		fmt.Printf("%11.0f%% %10d %10.1f %10v %12.2f %10.2f\n",
+			ps*100, totalCores, totalPower, fits, worstQ, meanEff)
+		if fits && firstFit == 0 {
+			firstFit = ps
+		}
+	}
+
+	if firstFit > 0 {
+		fmt.Printf("\nAt full problem sizes the %d tenants exceed the chip; compressing each to %.0f%%\n", len(jobs), firstFit*100)
+		fmt.Println("fits the whole mix inside cores and power while every job still meets its STV")
+		fmt.Println("deadline — the Section 3.3 case for Compress in loaded multi-programmed environments.")
+	} else {
+		fmt.Println("\nno compression level fit this tenant mix; reduce the job count")
+	}
+}

@@ -1,0 +1,120 @@
+// Imagepipeline: a denoise-then-search pipeline (srad feeding ferret)
+// executed on the Accordion control-core/data-core runtime. Data cores
+// run the fault-tolerant data-parallel stages at a speculative
+// frequency while injected crashes and hangs are absorbed by the
+// control core's watchdogs — and the end-to-end output quality is
+// measured against a fault-free reference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/rms"
+	"repro/internal/rms/ferret"
+	"repro/internal/rms/srad"
+)
+
+func main() {
+	ch, err := chip.New(chip.DefaultConfig(), 404)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vdd := ch.VddNTV()
+
+	// Engage the best 64 cores; data cores run at the speculative f for
+	// a per-task error budget of ~1e-8 per cycle, control cores are the
+	// chip's fastest (Section 4.1).
+	engaged := ch.SelectCores(64, vdd, chip.SelectEfficient)
+	fData := ch.SetFreq(engaged, vdd, 1e-8)
+	fCtrl := 0.0
+	for i := range ch.Cores {
+		if f := ch.CoreSafeFreq(i, vdd); f > fCtrl {
+			fCtrl = f
+		}
+	}
+	fmt.Printf("CC/DC pipeline on %d DCs at %.3f GHz (speculative), CC at %.3f GHz\n",
+		len(engaged), fData, fCtrl)
+
+	// Stage timing on the CC/DC runtime with injected DC failures.
+	rt, err := core.NewRuntime(core.RuntimeConfig{
+		Org:       core.HomogeneousSpatial,
+		NumCC:     1,
+		NumDC:     len(engaged),
+		DataFreq:  fData,
+		CtrlFreq:  fCtrl,
+		TaskOps:   2e7,
+		NumTasks:  256,
+		PollEvery: 0.5e-3,
+		Watchdog:  20e-3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt2, err := core.NewRuntime(core.RuntimeConfig{
+		Org:      core.HomogeneousSpatial,
+		NumCC:    1,
+		NumDC:    len(engaged),
+		DataFreq: fData, CtrlFreq: fCtrl,
+		TaskOps: 2e7, NumTasks: 256,
+		PollEvery: 0.5e-3, Watchdog: 20e-3,
+		Faults: []core.FaultEvent{
+			{Task: 10, Attempt: 0, Hang: true, After: 0.3},
+			{Task: 77, Attempt: 0, Hang: false, After: 0.6},
+			{Task: 200, Attempt: 0, Hang: false, After: 0.1},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared := core.NewSharedRegion([]float64{1})
+	work := func(task int, in core.ReadOnlyView) float64 { return in.At(0) }
+	clean, err := rt.Run(shared.View(), work)
+	if err != nil {
+		log.Fatal(err)
+	}
+	faulty, err := rt2.Run(shared.View(), work)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean run:  %.1f ms, %d tasks\n", clean.Time*1e3, clean.TasksDone)
+	fmt.Printf("faulty run: %.1f ms, %d tasks, %d crashes, %d watchdog fires, %d retries\n",
+		faulty.Time*1e3, faulty.TasksDone, faulty.Crashes, faulty.WatchdogFires, faulty.Retries)
+
+	// End-to-end algorithmic quality under speculative errors: the
+	// data-parallel stages tolerate Drop 1/4.
+	denoise := srad.New()
+	search, err := ferret.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := fault.DropQuarter()
+	fmt.Println("\nstage quality under Drop 1/4 (vs hyper-accurate, fault-free):")
+	for _, b := range []rms.Benchmark{denoise, search} {
+		ref, err := rms.Reference(b, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := b.Run(b.DefaultInput(), b.DefaultThreads(), plan, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q, err := b.Quality(out, ref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qClean, err := b.Run(b.DefaultInput(), b.DefaultThreads(), fault.Plan{}, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q0, err := b.Quality(qClean, ref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7s quality %.3f (fault-free %.3f) -> retains %.0f%%\n",
+			b.Name(), q, q0, 100*q/q0)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: sample a variation-afflicted NTV chip, profile canneal's
+// quality-vs-problem-size fronts, and ask Accordion for the operating
+// point that matches the STV execution time at the default problem
+// size — the 30-second tour of the whole framework.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/rms/canneal"
+)
+
+func main() {
+	// 1. A 288-core, 36-cluster 11nm chip with Table 2 variation.
+	ch, err := chip.New(chip.DefaultConfig(), 2014)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chip: %d cores, VddNTV = %.3f V\n", len(ch.Cores), ch.VddNTV())
+
+	// 2. The application: PARSEC canneal with its Accordion input
+	//    (swaps per temperature step).
+	bench, err := canneal.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fronts, err := core.MeasureFronts(bench, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: default-input quality %.3f, Drop 1/4 quality %.3f\n",
+		bench.Name(), fronts.Default.At(1), fronts.Quarter.At(1))
+
+	// 3. The Accordion solver: iso-execution-time operating points.
+	solver, err := core.NewSolver(ch, power.NewModel(ch), bench, fronts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bl := solver.Baseline()
+	fmt.Printf("STV baseline: N=%d at %.2f GHz, %.1f W\n", bl.N, bl.Freq, bl.Power)
+
+	for _, flavor := range []core.Flavor{core.Safe, core.Speculative} {
+		op, err := solver.Solve(bench.DefaultInput(), flavor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s: N=%3d f=%.3f GHz  %.2fx MIPS/W  quality %.2f of STV\n",
+			flavor, op.N, op.Freq, op.RelMIPSPerWatt, op.RelQuality)
+	}
+}

@@ -1,0 +1,268 @@
+// Package baseline implements the comparison points Accordion is
+// positioned against in Section 8: conventional STV operation, naive
+// NTC with a worst-case timing guardband, a Booster-style dual-rail
+// frequency equalizer, and an EnergySmart-style variation-aware
+// cluster scheduler. None of these exploit weak scaling or algorithmic
+// fault tolerance; they bound what variation mitigation alone achieves.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/chip"
+	"repro/internal/power"
+)
+
+// Point is one baseline operating point for a fixed amount of work: n
+// cores at frequency f and supply vdd, with the resulting throughput
+// proxy (aggregate GHz) and power.
+type Point struct {
+	Name       string
+	N          int
+	Freq       float64 // GHz per core (effective)
+	Vdd        float64
+	Power      float64 // W
+	Throughput float64 // aggregate effective GHz
+}
+
+// EffGHzPerWatt returns the throughput per Watt of the point.
+func (p Point) EffGHzPerWatt() float64 {
+	if p.Power <= 0 {
+		return 0
+	}
+	return p.Throughput / p.Power
+}
+
+// Suite evaluates the baselines on one chip sample.
+type Suite struct {
+	Chip  *chip.Chip
+	Power *power.Model
+}
+
+// NewSuite builds a baseline suite for the chip.
+func NewSuite(ch *chip.Chip) *Suite {
+	return &Suite{Chip: ch, Power: power.NewModel(ch)}
+}
+
+// STV returns conventional super-threshold operation: NSTV cores at
+// the STV nominal frequency, saturating the power budget.
+func (s *Suite) STV() Point {
+	bl := s.Power.Baseline()
+	return Point{
+		Name:       "stv",
+		N:          bl.N,
+		Freq:       bl.Freq,
+		Vdd:        bl.Vdd,
+		Power:      bl.Power,
+		Throughput: float64(bl.N) * bl.Freq,
+	}
+}
+
+// NaiveNTC engages n cores at VddNTV clocked for the worst core on the
+// chip under a guardbanded (error-free) frequency — variation-blind
+// NTC. Every core pays the slowest core's frequency.
+func (s *Suite) NaiveNTC(n int) (Point, error) {
+	if n < 1 || n > len(s.Chip.Cores) {
+		return Point{}, fmt.Errorf("baseline: core count %d out of range", n)
+	}
+	vdd := s.Chip.VddNTV()
+	worst := math.Inf(1)
+	for i := range s.Chip.Cores {
+		if f := s.Chip.CoreSafeFreq(i, vdd); f < worst {
+			worst = f
+		}
+	}
+	cores := s.Chip.SelectCores(n, vdd, chip.SelectSequential)
+	return Point{
+		Name:       "naive-ntc",
+		N:          n,
+		Freq:       worst,
+		Vdd:        vdd,
+		Power:      s.Power.Engaged(cores, vdd, worst).Total(),
+		Throughput: float64(n) * worst,
+	}, nil
+}
+
+// Booster equalizes effective per-core frequency by letting each core
+// time-share two voltage rails (Miller et al., HPCA 2012): slow cores
+// spend more time on the boost rail. The effective frequency equals the
+// target for every core; power reflects the per-core rail mix.
+func (s *Suite) Booster(n int, boostVdd float64) (Point, error) {
+	if n < 1 || n > len(s.Chip.Cores) {
+		return Point{}, fmt.Errorf("baseline: core count %d out of range", n)
+	}
+	vdd := s.Chip.VddNTV()
+	if boostVdd <= vdd {
+		return Point{}, fmt.Errorf("baseline: boost rail %.3f must exceed the base rail %.3f", boostVdd, vdd)
+	}
+	cores := s.Chip.SelectCores(n, vdd, chip.SelectSequential)
+	// The achievable common effective frequency is limited by the
+	// slowest core running permanently boosted.
+	target := math.Inf(1)
+	for _, i := range cores {
+		if f := s.Chip.CoreSafeFreq(i, boostVdd); f < target {
+			target = f
+		}
+	}
+	totalPower := 0.0
+	for _, i := range cores {
+		fBase := s.Chip.CoreSafeFreq(i, vdd)
+		fBoost := s.Chip.CoreSafeFreq(i, boostVdd)
+		// Fraction of time on the boost rail to average `target`.
+		var frac float64
+		switch {
+		case fBase >= target:
+			frac = 0
+		case fBoost <= target:
+			frac = 1
+		default:
+			frac = (target - fBase) / (fBoost - fBase)
+		}
+		totalPower += (1-frac)*s.Chip.CorePower(i, vdd, fBase) +
+			frac*s.Chip.CorePower(i, boostVdd, fBoost)
+	}
+	// Cluster memory and network overheads at the base rail.
+	over := s.Power.Engaged(cores, vdd, 0)
+	totalPower += over.Memory + over.Network
+	return Point{
+		Name:       "booster",
+		N:          n,
+		Freq:       target,
+		Vdd:        vdd,
+		Power:      totalPower,
+		Throughput: float64(n) * target,
+	}, nil
+}
+
+// EnergySmart schedules work on whole clusters, ordering clusters by
+// energy efficiency at their own safe frequency (Karpuzcu et al.,
+// HPCA 2013): a single Vdd rail, per-cluster frequency domains, no
+// frequency equalization across clusters. Throughput adds each
+// engaged cluster's own frequency.
+func (s *Suite) EnergySmart(n int) (Point, error) {
+	if n < 1 || n > len(s.Chip.Cores) {
+		return Point{}, fmt.Errorf("baseline: core count %d out of range", n)
+	}
+	vdd := s.Chip.VddNTV()
+	type clusterRank struct {
+		id  int
+		f   float64
+		eff float64
+	}
+	var ranks []clusterRank
+	for c := 0; c < s.Chip.Cfg.Clusters; c++ {
+		slow := s.Chip.ClusterSlowestCore(c, vdd)
+		f := s.Chip.CoreSafeFreq(slow, vdd)
+		lo, hi := s.Chip.ClusterCores(c)
+		p := 0.0
+		for i := lo; i < hi; i++ {
+			p += s.Chip.CorePower(i, vdd, f)
+		}
+		ranks = append(ranks, clusterRank{id: c, f: f, eff: float64(hi-lo) * f / p})
+	}
+	sort.Slice(ranks, func(a, b int) bool { return ranks[a].eff > ranks[b].eff })
+
+	var cores []int
+	throughput, remaining := 0.0, n
+	totalPower := 0.0
+	for _, r := range ranks {
+		if remaining == 0 {
+			break
+		}
+		lo, hi := s.Chip.ClusterCores(r.id)
+		take := hi - lo
+		if take > remaining {
+			take = remaining
+		}
+		for i := lo; i < lo+take; i++ {
+			cores = append(cores, i)
+			totalPower += s.Chip.CorePower(i, vdd, r.f)
+		}
+		throughput += float64(take) * r.f
+		remaining -= take
+	}
+	over := s.Power.Engaged(cores, vdd, 0)
+	totalPower += over.Memory + over.Network
+	return Point{
+		Name:       "energysmart",
+		N:          n,
+		Freq:       throughput / float64(n),
+		Vdd:        vdd,
+		Power:      totalPower,
+		Throughput: throughput,
+	}, nil
+}
+
+// PerClusterVdd runs each engaged cluster at its own minimum functional
+// voltage plus a margin, instead of the chip-wide VddNTV (which every
+// cluster inherits from the single worst memory block). Clusters are
+// engaged in EnergySmart order (their own-efficiency at their own Vdd).
+//
+// The measured outcome on this model is a negative result that
+// validates the paper's Section 6.1 design choice: below the chip-wide
+// VddNTV the variation-amplified loss of safe frequency outruns the
+// quadratic dynamic-power saving, so per-cluster undervolting reduces
+// throughput per Watt. The chip-wide "max per-cluster VddMIN"
+// designation is near-optimal for safe operation.
+func (s *Suite) PerClusterVdd(n int, marginV float64) (Point, error) {
+	if n < 1 || n > len(s.Chip.Cores) {
+		return Point{}, fmt.Errorf("baseline: core count %d out of range", n)
+	}
+	if marginV < 0 {
+		return Point{}, fmt.Errorf("baseline: negative voltage margin")
+	}
+	type clusterPlan struct {
+		id   int
+		vdd  float64
+		f    float64
+		eff  float64
+		size int
+	}
+	var plans []clusterPlan
+	for c := 0; c < s.Chip.Cfg.Clusters; c++ {
+		vdd := s.Chip.ClusterVddMIN(c) + marginV
+		slow := s.Chip.ClusterSlowestCore(c, vdd)
+		f := s.Chip.CoreSafeFreq(slow, vdd)
+		lo, hi := s.Chip.ClusterCores(c)
+		p := 0.0
+		for i := lo; i < hi; i++ {
+			p += s.Chip.CorePower(i, vdd, f)
+		}
+		plans = append(plans, clusterPlan{c, vdd, f, float64(hi-lo) * f / p, hi - lo})
+	}
+	sort.Slice(plans, func(a, b int) bool { return plans[a].eff > plans[b].eff })
+
+	var cores []int
+	throughput, totalPower := 0.0, 0.0
+	remaining := n
+	weightedVdd := 0.0
+	for _, pl := range plans {
+		if remaining == 0 {
+			break
+		}
+		take := pl.size
+		if take > remaining {
+			take = remaining
+		}
+		lo, _ := s.Chip.ClusterCores(pl.id)
+		for i := lo; i < lo+take; i++ {
+			cores = append(cores, i)
+			totalPower += s.Chip.CorePower(i, pl.vdd, pl.f)
+		}
+		throughput += float64(take) * pl.f
+		weightedVdd += pl.vdd * float64(take)
+		remaining -= take
+	}
+	over := s.Power.Engaged(cores, s.Chip.VddNTV(), 0)
+	totalPower += over.Memory + over.Network
+	return Point{
+		Name:       "per-cluster-vdd",
+		N:          n,
+		Freq:       throughput / float64(n),
+		Vdd:        weightedVdd / float64(n),
+		Power:      totalPower,
+		Throughput: throughput,
+	}, nil
+}

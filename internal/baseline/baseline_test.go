@@ -1,0 +1,158 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+)
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	ch, err := chip.New(chip.DefaultConfig(), 2014)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSuite(ch)
+}
+
+func TestSTVPoint(t *testing.T) {
+	s := testSuite(t)
+	p := s.STV()
+	if p.N < 10 || p.N > 24 {
+		t.Errorf("NSTV = %d", p.N)
+	}
+	if p.Power > s.Power.Budget() {
+		t.Error("STV point over budget")
+	}
+	if p.EffGHzPerWatt() <= 0 {
+		t.Error("non-positive efficiency")
+	}
+}
+
+func TestNaiveNTCPessimism(t *testing.T) {
+	s := testSuite(t)
+	naive, err := s.NaiveNTC(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Variation-blind NTC clocks everyone at the chip's slowest core.
+	for i := range s.Chip.Cores {
+		if s.Chip.CoreSafeFreq(i, s.Chip.VddNTV()) < naive.Freq-1e-12 {
+			t.Fatal("naive frequency above some core's safe frequency")
+		}
+	}
+	// EnergySmart scheduling on the same core count must beat it in
+	// throughput per Watt (the HPCA 2013 result).
+	es, err := s.EnergySmart(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.EffGHzPerWatt() <= naive.EffGHzPerWatt() {
+		t.Errorf("EnergySmart (%.3f GHz/W) not above naive NTC (%.3f GHz/W)",
+			es.EffGHzPerWatt(), naive.EffGHzPerWatt())
+	}
+	if es.Throughput <= naive.Throughput {
+		t.Error("EnergySmart throughput not above naive NTC")
+	}
+}
+
+func TestBoosterEqualizes(t *testing.T) {
+	s := testSuite(t)
+	vdd := s.Chip.VddNTV()
+	b, err := s.Booster(64, vdd+0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := s.NaiveNTC(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boosting lifts the common effective frequency above the naive
+	// worst-case clock, at a power premium per unit of throughput that
+	// stays sane.
+	if b.Freq <= naive.Freq {
+		t.Errorf("booster f %.3f not above naive %.3f", b.Freq, naive.Freq)
+	}
+	if b.Power <= 0 || b.Power > s.Power.Budget()*3 {
+		t.Errorf("booster power %.1f W implausible", b.Power)
+	}
+}
+
+func TestBoosterValidation(t *testing.T) {
+	s := testSuite(t)
+	if _, err := s.Booster(64, s.Chip.VddNTV()-0.01); err == nil {
+		t.Error("boost rail below base rail accepted")
+	}
+	if _, err := s.Booster(0, 1.0); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := s.NaiveNTC(0); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := s.EnergySmart(10000); err == nil {
+		t.Error("oversized request accepted")
+	}
+}
+
+func TestEnergySmartClusterGranularity(t *testing.T) {
+	s := testSuite(t)
+	p, err := s.EnergySmart(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 24 {
+		t.Errorf("N = %d", p.N)
+	}
+	if p.Throughput <= 0 || p.Freq <= 0 {
+		t.Error("degenerate point")
+	}
+	// More cores, more throughput.
+	p2, err := s.EnergySmart(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Throughput <= p.Throughput {
+		t.Error("throughput not increasing in N")
+	}
+}
+
+func TestPerClusterVddValidatesChipWideChoice(t *testing.T) {
+	s := testSuite(t)
+	es, err := s.EnergySmart(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The negative result the method documents: undervolting clusters
+	// below the chip-wide VddNTV costs safe frequency faster than it
+	// saves power.
+	deep, err := s.PerClusterVdd(64, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Vdd >= s.Chip.VddNTV() {
+		t.Errorf("mean per-cluster Vdd %.3f not below VddNTV %.3f", deep.Vdd, s.Chip.VddNTV())
+	}
+	if deep.EffGHzPerWatt() >= es.EffGHzPerWatt() {
+		t.Errorf("deep per-cluster undervolting (%.3f GHz/W) unexpectedly beat chip-wide (%.3f GHz/W)",
+			deep.EffGHzPerWatt(), es.EffGHzPerWatt())
+	}
+	// Efficiency recovers monotonically as the margin (and hence the
+	// per-cluster voltage) rises back through the chip-wide point.
+	prev := deep.EffGHzPerWatt()
+	for _, m := range []float64{0.03, 0.06, 0.09} {
+		pc, err := s.PerClusterVdd(64, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pc.EffGHzPerWatt() <= prev {
+			t.Errorf("efficiency not recovering with margin %.2f", m)
+		}
+		prev = pc.EffGHzPerWatt()
+	}
+	if _, err := s.PerClusterVdd(64, -0.1); err == nil {
+		t.Error("negative margin accepted")
+	}
+	if _, err := s.PerClusterVdd(0, 0.01); err == nil {
+		t.Error("zero cores accepted")
+	}
+}

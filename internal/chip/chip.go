@@ -1,0 +1,427 @@
+// Package chip assembles the technology and variation models into the
+// hypothetical NTV manycore of the paper's Table 2: 288 cores in 36
+// clusters of 8 on a ~20x20 mm 11nm die, with 64 KB core-private
+// memories and a 2 MB memory block per cluster.
+//
+// A Chip is one variation-afflicted sample: every core carries its own
+// threshold-voltage and channel-length deviations, every memory block
+// its own minimum operating voltage VddMIN. From those the chip derives
+// per-core maximum/safe/speculative frequencies, per-cluster VddMIN,
+// and the chip-wide near-threshold operating voltage VddNTV (the
+// maximum per-cluster VddMIN, exactly as in Section 6.1).
+package chip
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mathx"
+	"repro/internal/tech"
+	"repro/internal/variation"
+)
+
+// Config describes the chip organization and its variation environment.
+type Config struct {
+	Tech     tech.Params
+	Vth      variation.FieldParams
+	Leff     variation.FieldParams
+	Clusters int // total clusters (36)
+	CoresPer int // cores per cluster (8)
+
+	CoreMemBits    int // bits per core-private memory block (64 KB)
+	ClusterMemBits int // bits per cluster memory block (2 MB)
+
+	PowerBudget float64 // W, chip power budget PMAX (100)
+}
+
+// DefaultConfig returns the paper's Table 2 system configuration.
+func DefaultConfig() Config {
+	return Config{
+		Tech:           tech.Default11nm(),
+		Vth:            variation.DefaultVth(),
+		Leff:           variation.DefaultLeff(),
+		Clusters:       36,
+		CoresPer:       8,
+		CoreMemBits:    64 * 1024 * 8,
+		ClusterMemBits: 2 * 1024 * 1024 * 8,
+		PowerBudget:    100,
+	}
+}
+
+// Validate reports the first invalid field, or nil.
+func (c Config) Validate() error {
+	if err := c.Tech.Validate(); err != nil {
+		return err
+	}
+	if err := c.Vth.Validate(); err != nil {
+		return err
+	}
+	if err := c.Leff.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Clusters <= 0 || c.CoresPer <= 0:
+		return fmt.Errorf("chip: need positive cluster and core counts")
+	case c.CoreMemBits <= 0 || c.ClusterMemBits <= 0:
+		return fmt.Errorf("chip: need positive memory sizes")
+	case c.PowerBudget <= 0:
+		return fmt.Errorf("chip: need a positive power budget")
+	}
+	gridSide := int(math.Round(math.Sqrt(float64(c.Clusters))))
+	if gridSide*gridSide != c.Clusters {
+		return fmt.Errorf("chip: cluster count %d is not a perfect square", c.Clusters)
+	}
+	return nil
+}
+
+// NumCores returns the total core count.
+func (c Config) NumCores() int { return c.Clusters * c.CoresPer }
+
+// Core is one variation-afflicted core.
+type Core struct {
+	ID      int
+	Cluster int
+	Pos     variation.Point
+	VthDev  float64 // fractional Vth deviation
+	LeffDev float64 // fractional Leff deviation
+}
+
+// Vth returns the core's actual threshold voltage under tech params tp.
+func (co Core) Vth(tp tech.Params) float64 { return tp.VthNom * (1 + co.VthDev) }
+
+// BlockKind distinguishes the two memory block types.
+type BlockKind int
+
+// Memory block kinds.
+const (
+	CoreMem BlockKind = iota
+	ClusterMem
+)
+
+// MemBlock is one SRAM block with its minimum operating voltage.
+type MemBlock struct {
+	Kind    BlockKind
+	Cluster int
+	Core    int // owning core for CoreMem blocks, -1 for ClusterMem
+	VthDev  float64
+	VddMIN  float64
+}
+
+// Chip is a single variation-afflicted sample of the manycore.
+type Chip struct {
+	Cfg    Config
+	Seed   int64
+	Cores  []Core
+	Blocks []MemBlock
+
+	clusterVddMIN []float64
+	vddNTV        float64
+}
+
+// layout returns the sampling points: for each cluster, CoresPer core
+// points (shared by the core and its private memory, which abuts it)
+// followed by one cluster-memory point, laid out on a uniform grid.
+func layout(cfg Config) (corePts, clusterMemPts []variation.Point) {
+	side := int(math.Round(math.Sqrt(float64(cfg.Clusters))))
+	coreSide := int(math.Ceil(math.Sqrt(float64(cfg.CoresPer))))
+	tile := 1.0 / float64(side)
+	for cy := 0; cy < side; cy++ {
+		for cx := 0; cx < side; cx++ {
+			ox, oy := float64(cx)*tile, float64(cy)*tile
+			for k := 0; k < cfg.CoresPer; k++ {
+				gx, gy := k%coreSide, k/coreSide
+				corePts = append(corePts, variation.Point{
+					X: ox + (float64(gx)+0.5)/float64(coreSide)*tile*0.8,
+					Y: oy + (float64(gy)+0.5)/float64(coreSide)*tile*0.8,
+				})
+			}
+			clusterMemPts = append(clusterMemPts, variation.Point{
+				X: ox + 0.9*tile,
+				Y: oy + 0.5*tile,
+			})
+		}
+	}
+	return corePts, clusterMemPts
+}
+
+// Factory generates a population of chips sharing one covariance
+// factorization; building it is the expensive step.
+type Factory struct {
+	cfg        Config
+	vthSampler *variation.Sampler
+	lefSampler *variation.Sampler
+	nCore      int
+}
+
+// NewFactory validates cfg and prepares the variation samplers.
+func NewFactory(cfg Config) (*Factory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	corePts, memPts := layout(cfg)
+	all := append(append([]variation.Point{}, corePts...), memPts...)
+	vs, err := variation.NewSampler(all, cfg.Vth)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := variation.NewSampler(corePts, cfg.Leff)
+	if err != nil {
+		return nil, err
+	}
+	return &Factory{cfg: cfg, vthSampler: vs, lefSampler: ls, nCore: len(corePts)}, nil
+}
+
+// Config returns the factory's configuration.
+func (f *Factory) Config() Config { return f.cfg }
+
+// Sample draws one chip. The same seed always yields the same chip.
+func (f *Factory) Sample(seed int64) *Chip {
+	cfg := f.cfg
+	rng := mathx.NewRNG(seed)
+	vthDev := f.vthSampler.Sample(rng.Split(1))
+	leffDev := f.lefSampler.Sample(rng.Split(2))
+	blockRng := rng.Split(3)
+
+	corePts, _ := layout(cfg)
+	ch := &Chip{Cfg: cfg, Seed: seed}
+	ch.Cores = make([]Core, f.nCore)
+	for i := range ch.Cores {
+		ch.Cores[i] = Core{
+			ID:      i,
+			Cluster: i / cfg.CoresPer,
+			Pos:     corePts[i],
+			VthDev:  vthDev[i],
+			LeffDev: leffDev[i],
+		}
+	}
+	// Memory blocks: a private block co-located with each core, plus a
+	// cluster block at each cluster-memory point.
+	for i := 0; i < f.nCore; i++ {
+		dv := vthDev[i] * cfg.Tech.VthNom
+		ch.Blocks = append(ch.Blocks, MemBlock{
+			Kind:    CoreMem,
+			Cluster: i / cfg.CoresPer,
+			Core:    i,
+			VthDev:  vthDev[i],
+			VddMIN:  cfg.Tech.BlockVddMIN(dv, cfg.CoreMemBits, blockRng.StdNormal()),
+		})
+	}
+	for c := 0; c < cfg.Clusters; c++ {
+		dev := vthDev[f.nCore+c]
+		dv := dev * cfg.Tech.VthNom
+		ch.Blocks = append(ch.Blocks, MemBlock{
+			Kind:    ClusterMem,
+			Cluster: c,
+			Core:    -1,
+			VthDev:  dev,
+			VddMIN:  cfg.Tech.BlockVddMIN(dv, cfg.ClusterMemBits, blockRng.StdNormal()),
+		})
+	}
+	ch.deriveVoltages()
+	return ch
+}
+
+// Population draws n chips with seeds derived from seed.
+func (f *Factory) Population(seed int64, n int) []*Chip {
+	chips := make([]*Chip, n)
+	for i := range chips {
+		chips[i] = f.Sample(mathx.SplitSeed(seed, int64(i)))
+	}
+	return chips
+}
+
+// New is a convenience constructor for a single chip.
+func New(cfg Config, seed int64) (*Chip, error) {
+	f, err := NewFactory(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f.Sample(seed), nil
+}
+
+func (ch *Chip) deriveVoltages() {
+	ch.clusterVddMIN = make([]float64, ch.Cfg.Clusters)
+	for _, b := range ch.Blocks {
+		if b.VddMIN > ch.clusterVddMIN[b.Cluster] {
+			ch.clusterVddMIN[b.Cluster] = b.VddMIN
+		}
+	}
+	ch.vddNTV = 0
+	for _, v := range ch.clusterVddMIN {
+		if v > ch.vddNTV {
+			ch.vddNTV = v
+		}
+	}
+}
+
+// ClusterVddMIN returns the minimum functional voltage of cluster c:
+// the maximum VddMIN across the memory blocks it contains.
+func (ch *Chip) ClusterVddMIN(c int) float64 { return ch.clusterVddMIN[c] }
+
+// ClusterVddMINs returns a copy of all per-cluster VddMIN values.
+func (ch *Chip) ClusterVddMINs() []float64 {
+	out := make([]float64, len(ch.clusterVddMIN))
+	copy(out, ch.clusterVddMIN)
+	return out
+}
+
+// VddNTV returns the chip-wide near-threshold operating voltage: the
+// maximum per-cluster VddMIN, so every memory block stays functional.
+func (ch *Chip) VddNTV() float64 { return ch.vddNTV }
+
+// CoreFmax returns core i's variation-afflicted maximum frequency in
+// GHz at supply vdd: the technology frequency at the core's actual
+// threshold, scaled by its channel-length deviation (longer channels
+// are slower).
+func (ch *Chip) CoreFmax(i int, vdd float64) float64 {
+	co := ch.Cores[i]
+	return ch.Cfg.Tech.Freq(vdd, co.Vth(ch.Cfg.Tech)) / (1 + co.LeffDev)
+}
+
+// CoreSafeFreq returns core i's highest error-free frequency at vdd.
+func (ch *Chip) CoreSafeFreq(i int, vdd float64) float64 {
+	co := ch.Cores[i]
+	return ch.Cfg.Tech.SafeFreq(vdd, co.Vth(ch.Cfg.Tech)) / (1 + co.LeffDev)
+}
+
+// CoreFreqAtPerr returns the highest frequency at which core i's
+// per-cycle timing-error probability stays at or below perr.
+func (ch *Chip) CoreFreqAtPerr(i int, vdd, perr float64) float64 {
+	co := ch.Cores[i]
+	return ch.Cfg.Tech.FreqAtPerr(vdd, co.Vth(ch.Cfg.Tech), perr) / (1 + co.LeffDev)
+}
+
+// CorePerr returns core i's per-cycle timing error probability when
+// clocked at f GHz under supply vdd.
+func (ch *Chip) CorePerr(i int, vdd, f float64) float64 {
+	co := ch.Cores[i]
+	// Leff slows the core: its paths see an effectively higher clock.
+	return ch.Cfg.Tech.PerrPerCycle(f*(1+co.LeffDev), vdd, co.Vth(ch.Cfg.Tech))
+}
+
+// Leakage damping: a core's maximum frequency is set by its slowest
+// critical path (an extreme value of the local Vth distribution), but
+// its leakage is the average over millions of transistors, so the
+// core-to-core leakage spread is much milder than the fmax spread.
+const (
+	leakVthDamp   = 0.3
+	leakLeffCoeff = 1.0
+)
+
+// CoreStaticPower returns core i's leakage power in W at supply vdd,
+// with the damped dependence on the local Vth and Leff deviations.
+func (ch *Chip) CoreStaticPower(i int, vdd float64) float64 {
+	co := ch.Cores[i]
+	vthLeak := ch.Cfg.Tech.VthNom * (1 + leakVthDamp*co.VthDev)
+	return ch.Cfg.Tech.StaticPower(vdd, vthLeak) * math.Exp(-leakLeffCoeff*co.LeffDev)
+}
+
+// CorePower returns core i's power in W at supply vdd and frequency f,
+// including its leakage dependence on the local Vth and Leff.
+func (ch *Chip) CorePower(i int, vdd, f float64) float64 {
+	return ch.Cfg.Tech.DynPower(vdd, f) + ch.CoreStaticPower(i, vdd)
+}
+
+// ClusterSlowestCore returns the index of the slowest core of cluster c
+// at supply vdd (the core that dictates the cluster's f domain).
+func (ch *Chip) ClusterSlowestCore(c int, vdd float64) int {
+	lo, hi := c*ch.Cfg.CoresPer, (c+1)*ch.Cfg.CoresPer
+	best, bestF := lo, math.Inf(1)
+	for i := lo; i < hi; i++ {
+		if f := ch.CoreFmax(i, vdd); f < bestF {
+			best, bestF = i, f
+		}
+	}
+	return best
+}
+
+// ClusterCores returns the core index range [lo, hi) of cluster c.
+func (ch *Chip) ClusterCores(c int) (lo, hi int) {
+	return c * ch.Cfg.CoresPer, (c + 1) * ch.Cfg.CoresPer
+}
+
+// SelectPolicy chooses which cores engage in computation.
+type SelectPolicy int
+
+// Core-selection policies.
+const (
+	// SelectEfficient picks the cores with the best safe-frequency per
+	// Watt, the paper's default ("we pick the most energy-efficient
+	// NNTV cores").
+	SelectEfficient SelectPolicy = iota
+	// SelectFastest picks the cores with the highest safe frequency.
+	SelectFastest
+	// SelectSequential picks cores in layout order, a variation-blind
+	// baseline.
+	SelectSequential
+)
+
+// String names the policy.
+func (p SelectPolicy) String() string {
+	switch p {
+	case SelectEfficient:
+		return "efficient"
+	case SelectFastest:
+		return "fastest"
+	case SelectSequential:
+		return "sequential"
+	}
+	return fmt.Sprintf("SelectPolicy(%d)", int(p))
+}
+
+// SelectCores returns the IDs of n cores chosen under the policy at
+// supply vdd, ordered best-first. It returns fewer than n only if the
+// chip has fewer cores.
+func (ch *Chip) SelectCores(n int, vdd float64, policy SelectPolicy) []int {
+	if n > len(ch.Cores) {
+		n = len(ch.Cores)
+	}
+	ids := make([]int, len(ch.Cores))
+	for i := range ids {
+		ids[i] = i
+	}
+	switch policy {
+	case SelectFastest:
+		sort.Slice(ids, func(a, b int) bool {
+			return ch.CoreSafeFreq(ids[a], vdd) > ch.CoreSafeFreq(ids[b], vdd)
+		})
+	case SelectEfficient:
+		// Greedy per-core performance-per-Watt at the core's own safe
+		// frequency, the paper's "most energy-efficient NNTV cores".
+		// Note the set-level coupling this greedy ignores: the slowest
+		// engaged core caps the whole set's frequency, so at voltages
+		// well above VddNTV (where frequency spreads compress and
+		// leakage differences dominate the metric) the ordering can
+		// pull slow, cool cores forward and cost set frequency.
+		eff := make([]float64, len(ch.Cores))
+		for i := range eff {
+			f := ch.CoreSafeFreq(i, vdd)
+			p := ch.CorePower(i, vdd, f)
+			if p > 0 {
+				eff[i] = f / p
+			}
+		}
+		sort.Slice(ids, func(a, b int) bool { return eff[ids[a]] > eff[ids[b]] })
+	case SelectSequential:
+		// keep layout order
+	}
+	return ids[:n]
+}
+
+// SetFreq returns the frequency at which a set of engaged cores can run
+// together: the minimum over the set of each core's frequency at the
+// target per-cycle error probability (ErrorFreePerr for safe
+// operation). Accordion runs all engaged cores at one f (Section 4).
+func (ch *Chip) SetFreq(cores []int, vdd, perr float64) float64 {
+	f := math.Inf(1)
+	for _, i := range cores {
+		if fi := ch.CoreFreqAtPerr(i, vdd, perr); fi < f {
+			f = fi
+		}
+	}
+	if math.IsInf(f, 1) {
+		return 0
+	}
+	return f
+}

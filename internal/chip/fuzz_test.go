@@ -1,0 +1,45 @@
+package chip
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the chip deserializer: it must
+// either return a chip whose derived state is internally consistent or
+// an error — never panic, never a half-built chip.
+func FuzzLoad(f *testing.F) {
+	var buf bytes.Buffer
+	ch, err := New(DefaultConfig(), 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := ch.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.String()
+	f.Add(good)
+	f.Add("{}")
+	f.Add(strings.Replace(good, `"version":1`, `"version":2`, 1))
+	f.Add(good[:len(good)/3])
+	f.Fuzz(func(t *testing.T, data string) {
+		loaded, err := Load(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be fully coherent.
+		if len(loaded.Cores) != loaded.Cfg.NumCores() {
+			t.Fatal("accepted chip with wrong core count")
+		}
+		max := 0.0
+		for _, v := range loaded.ClusterVddMINs() {
+			if v > max {
+				max = v
+			}
+		}
+		if loaded.VddNTV() != max {
+			t.Fatal("accepted chip with inconsistent VddNTV")
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package chip
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chipFile is the on-disk representation of a sampled chip. The derived
+// voltage tables are recomputed on load, so the format carries only the
+// configuration and the sampled variation state.
+type chipFile struct {
+	Version int        `json:"version"`
+	Cfg     Config     `json:"config"`
+	Seed    int64      `json:"seed"`
+	Cores   []Core     `json:"cores"`
+	Blocks  []MemBlock `json:"blocks"`
+}
+
+const persistVersion = 1
+
+// Save serializes the chip sample as JSON. A saved chip reloads
+// bit-identically with Load, letting experiments pin one manufactured
+// die across tool invocations.
+func (ch *Chip) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(chipFile{
+		Version: persistVersion,
+		Cfg:     ch.Cfg,
+		Seed:    ch.Seed,
+		Cores:   ch.Cores,
+		Blocks:  ch.Blocks,
+	})
+}
+
+// Load deserializes a chip saved with Save and rebuilds its derived
+// voltage tables.
+func Load(r io.Reader) (*Chip, error) {
+	var f chipFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("chip: decode: %w", err)
+	}
+	if f.Version != persistVersion {
+		return nil, fmt.Errorf("chip: unsupported file version %d", f.Version)
+	}
+	if err := f.Cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("chip: saved config invalid: %w", err)
+	}
+	if len(f.Cores) != f.Cfg.NumCores() {
+		return nil, fmt.Errorf("chip: %d cores for a %d-core config", len(f.Cores), f.Cfg.NumCores())
+	}
+	wantBlocks := f.Cfg.NumCores() + f.Cfg.Clusters
+	if len(f.Blocks) != wantBlocks {
+		return nil, fmt.Errorf("chip: %d memory blocks, want %d", len(f.Blocks), wantBlocks)
+	}
+	for i, co := range f.Cores {
+		if co.ID != i || co.Cluster != i/f.Cfg.CoresPer {
+			return nil, fmt.Errorf("chip: core %d mislabeled in file", i)
+		}
+	}
+	for _, b := range f.Blocks {
+		if b.Cluster < 0 || b.Cluster >= f.Cfg.Clusters {
+			return nil, fmt.Errorf("chip: block references cluster %d", b.Cluster)
+		}
+		if b.VddMIN <= 0 {
+			return nil, fmt.Errorf("chip: non-positive VddMIN in file")
+		}
+	}
+	ch := &Chip{Cfg: f.Cfg, Seed: f.Seed, Cores: f.Cores, Blocks: f.Blocks}
+	ch.deriveVoltages()
+	return ch, nil
+}

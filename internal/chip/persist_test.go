@@ -1,0 +1,79 @@
+package chip
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := testChip(t, 2014)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Seed != orig.Seed {
+		t.Error("seed lost")
+	}
+	if loaded.VddNTV() != orig.VddNTV() {
+		t.Errorf("derived VddNTV differs: %.6f vs %.6f", loaded.VddNTV(), orig.VddNTV())
+	}
+	for i := range orig.Cores {
+		if loaded.Cores[i] != orig.Cores[i] {
+			t.Fatalf("core %d differs", i)
+		}
+	}
+	for c := 0; c < orig.Cfg.Clusters; c++ {
+		if loaded.ClusterVddMIN(c) != orig.ClusterVddMIN(c) {
+			t.Fatalf("cluster %d VddMIN differs", c)
+		}
+	}
+	// Behaviour matches too.
+	vdd := orig.VddNTV()
+	for _, i := range []int{0, 100, 287} {
+		if loaded.CoreSafeFreq(i, vdd) != orig.CoreSafeFreq(i, vdd) {
+			t.Fatalf("core %d safe f differs after reload", i)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptFiles(t *testing.T) {
+	orig := testChip(t, 7)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"garbage", "not json"},
+		{"empty", "{}"},
+		{"bad version", strings.Replace(good, `"version":1`, `"version":99`, 1)},
+		{"truncated", good[:len(good)/2]},
+	}
+	for _, c := range cases {
+		if _, err := Load(strings.NewReader(c.input)); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestLoadRejectsInconsistentChip(t *testing.T) {
+	orig := testChip(t, 8)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Mislabel a core.
+	bad := strings.Replace(buf.String(), `"ID":5,`, `"ID":6,`, 1)
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Error("mislabeled core accepted")
+	}
+}

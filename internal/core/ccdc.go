@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+)
+
+// Organization selects the Figure 3 design-space point for decoupling
+// control from data processing.
+type Organization int
+
+// Accordion chip organizations (Figure 3).
+const (
+	// HomogeneousSpatial (Fig 3a): identical cores; the fastest, most
+	// reliable cores are designated Control Cores spatio-temporally.
+	HomogeneousSpatial Organization = iota
+	// HomogeneousTimeMux (Fig 3b): identical cores time-multiplexed
+	// between CC and DC roles; better utilization, but every role swap
+	// pays a protection-domain switch.
+	HomogeneousTimeMux
+	// HeterogeneousClusters (Fig 3c): dedicated CC hardware per
+	// cluster; CC count is fixed by design.
+	HeterogeneousClusters
+)
+
+// String names the organization.
+func (o Organization) String() string {
+	switch o {
+	case HomogeneousSpatial:
+		return "homogeneous-spatial"
+	case HomogeneousTimeMux:
+		return "homogeneous-timemux"
+	case HeterogeneousClusters:
+		return "heterogeneous"
+	}
+	return fmt.Sprintf("Organization(%d)", int(o))
+}
+
+// TaskState tracks one data-parallel task through the runtime.
+type TaskState int
+
+// Task states.
+const (
+	TaskPending TaskState = iota
+	TaskRunning
+	TaskDone
+	TaskFailed // crashed or hung; will be reassigned
+)
+
+// FaultEvent injects a DC failure into a run: execution attempt
+// `Attempt` (0-based) of task `Task` either crashes after `After`
+// fraction of the task (detected at the next CC poll via the mailbox)
+// or hangs (detected only by the watchdog).
+type FaultEvent struct {
+	Task    int
+	Attempt int
+	Hang    bool
+	After   float64 // fraction of the task executed before the fault
+	// Corrupt makes the attempt complete normally but deliver
+	// CorruptValue instead of the true result — the paper's
+	// manifestation (ii), termination with excessive degradation,
+	// which the CC catches against its preset result limits.
+	Corrupt      bool
+	CorruptValue float64
+}
+
+// RuntimeConfig configures a CC/DC execution.
+type RuntimeConfig struct {
+	Org Organization
+
+	NumCC int // control cores (>=1)
+	NumDC int // data cores
+
+	DataFreq float64 // GHz, common DC frequency
+	CtrlFreq float64 // GHz, CC frequency
+
+	TaskOps   float64 // ops per task
+	NumTasks  int
+	PollEvery float64 // seconds between CC mailbox polls
+	Watchdog  float64 // seconds of DC silence before reset
+
+	// PollOps is the control-core work per DC mailbox check (ops). The
+	// DCs are partitioned among the NumCC control cores; a CC whose
+	// share takes longer than PollEvery to sweep polls late, which is
+	// how an undersized CC count becomes the bottleneck Section 4.2
+	// warns about.
+	PollOps float64
+
+	// CheckpointEvery of 0 disables the checkpoint-recovery safety net;
+	// otherwise CCs snapshot completed-task state this often, paying
+	// CheckpointCost seconds each time.
+	CheckpointEvery float64
+	CheckpointCost  float64
+
+	// RoleSwapCost is paid by HomogeneousTimeMux each time a core swaps
+	// between CC and DC protection domains.
+	RoleSwapCost float64
+
+	// ResultGuard, when non-nil, is the CC's preset limit on acceptable
+	// task results (Section 6.3's manifestation (ii)): a result failing
+	// the guard is treated exactly like a crash and the task retried.
+	ResultGuard func(task int, result float64) bool
+
+	Faults []FaultEvent
+
+	// Wipeouts are virtual times at which a catastrophic event clears
+	// all DC state and every result not yet captured by a checkpoint;
+	// the run resumes from the last checkpoint (or from scratch when
+	// checkpointing is disabled) — the Section 4.1 safety net whose
+	// anticipated rarity is what lets Accordion keep it simple.
+	Wipeouts []float64
+}
+
+// Validate reports the first invalid field, or nil.
+func (c RuntimeConfig) Validate() error {
+	switch {
+	case c.NumCC < 1:
+		return fmt.Errorf("core: need at least one control core")
+	case c.NumDC < 1:
+		return fmt.Errorf("core: need at least one data core")
+	case c.DataFreq <= 0 || c.CtrlFreq <= 0:
+		return fmt.Errorf("core: frequencies must be positive")
+	case c.TaskOps <= 0 || c.NumTasks <= 0:
+		return fmt.Errorf("core: need positive task work")
+	case c.PollEvery <= 0:
+		return fmt.Errorf("core: need a positive poll interval")
+	case c.Watchdog <= c.PollEvery:
+		return fmt.Errorf("core: watchdog timeout must exceed the poll interval")
+	case c.CheckpointEvery < 0 || c.CheckpointCost < 0 || c.RoleSwapCost < 0:
+		return fmt.Errorf("core: negative overheads")
+	}
+	return nil
+}
+
+// RunStats summarizes a CC/DC execution.
+type RunStats struct {
+	Time          float64 // total virtual seconds
+	TasksDone     int
+	Crashes       int // failures detected via mailbox at a CC poll
+	WatchdogFires int // hangs detected by the watchdog
+	GuardRejects  int // results rejected by the CC's preset quality limit
+	Retries       int
+	Checkpoints   int
+	RoleSwaps     int
+	Recoveries    int       // checkpoint restores after wipeouts
+	TasksRedone   int       // completed work lost to wipeouts and re-executed
+	Results       []float64 // merged per-task results (CC reduce)
+}
+
+// mailbox is the dedicated memory location a DC and its master CC
+// communicate over: CCs read status, DCs write status and a result.
+// DCs cannot touch anything else of the CC's space — there is no API
+// for it.
+type mailbox struct {
+	state   TaskState
+	task    int
+	attempt int
+	epoch   int     // bumped on every (re)assignment; stale events no-op
+	done    float64 // completion time, valid when state == TaskDone
+	result  float64
+}
+
+// SharedRegion is data a CC publishes for its DCs. DCs receive a
+// read-only view; the absence of any mutator on ReadOnlyView enforces
+// the Section 4.1 rule that DCs can read but never modify CC data.
+type SharedRegion struct {
+	data []float64
+}
+
+// NewSharedRegion copies vals into a CC-owned region.
+func NewSharedRegion(vals []float64) *SharedRegion {
+	d := make([]float64, len(vals))
+	copy(d, vals)
+	return &SharedRegion{data: d}
+}
+
+// ReadOnlyView is the DC-side handle: read access only.
+type ReadOnlyView struct{ r *SharedRegion }
+
+// View returns the read-only handle DCs get.
+func (r *SharedRegion) View() ReadOnlyView { return ReadOnlyView{r} }
+
+// At reads element i.
+func (v ReadOnlyView) At(i int) float64 { return v.r.data[i] }
+
+// Len returns the region length.
+func (v ReadOnlyView) Len() int { return len(v.r.data) }
+
+// Runtime executes a task set under the CC/DC architecture on the
+// discrete-event engine, modeling master-slave coordination, per-DC
+// watchdogs, fast DC reset/restart, and the checkpoint safety net.
+type Runtime struct {
+	cfg RuntimeConfig
+	eng *sim.Engine
+
+	boxes    []mailbox // one per DC
+	deadline []float64 // per DC: expected completion + watchdog margin
+	attempts map[int]int
+	faults   map[[2]int]FaultEvent
+
+	pending []int
+	stats   RunStats
+
+	shared   ReadOnlyView
+	work     func(int, ReadOnlyView) float64
+	pollLive bool
+
+	// Checkpoint state: which tasks' results the last snapshot holds.
+	snapshot []bool
+	done     []bool
+}
+
+// NewRuntime validates the config and prepares a runtime.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runtime{cfg: cfg}, nil
+}
+
+// taskDuration returns the execution time of one task on a DC.
+func (r *Runtime) taskDuration() float64 {
+	return r.cfg.TaskOps / (r.cfg.DataFreq * 1e9)
+}
+
+// Run executes all tasks and returns the statistics. work maps a task
+// index to its result value given the read-only shared inputs; it runs
+// at completion time, so results are deterministic.
+func (r *Runtime) Run(shared ReadOnlyView, work func(task int, in ReadOnlyView) float64) (RunStats, error) {
+	r.eng = sim.NewEngine()
+	r.boxes = make([]mailbox, r.cfg.NumDC)
+	r.deadline = make([]float64, r.cfg.NumDC)
+	r.attempts = map[int]int{}
+	r.faults = map[[2]int]FaultEvent{}
+	for _, f := range r.cfg.Faults {
+		r.faults[[2]int{f.Task, f.Attempt}] = f
+	}
+	r.stats = RunStats{Results: make([]float64, r.cfg.NumTasks)}
+	r.shared, r.work = shared, work
+	r.snapshot = make([]bool, r.cfg.NumTasks)
+	r.done = make([]bool, r.cfg.NumTasks)
+	r.pending = r.pending[:0]
+	for t := r.cfg.NumTasks - 1; t >= 0; t-- {
+		r.pending = append(r.pending, t)
+	}
+	for dc := range r.boxes {
+		r.boxes[dc].state = TaskPending
+		r.assign(dc, shared, work)
+	}
+	for _, at := range r.cfg.Wipeouts {
+		if _, err := r.eng.At(at, r.wipeout); err != nil {
+			return RunStats{}, err
+		}
+	}
+	// The master CCs poll DC mailboxes periodically (Section 4.1) —
+	// never reading DC-produced data for control, only mailbox status.
+	r.pollLive = true
+	if _, err := r.eng.After(r.pollInterval(), func() { r.poll(shared, work) }); err != nil {
+		return RunStats{}, err
+	}
+	if r.cfg.CheckpointEvery > 0 {
+		if _, err := r.eng.After(r.cfg.CheckpointEvery, r.checkpoint); err != nil {
+			return RunStats{}, err
+		}
+	}
+	r.eng.Run(0)
+	return r.stats, nil
+}
+
+// assign hands the next pending task to DC dc.
+func (r *Runtime) assign(dc int, shared ReadOnlyView, work func(int, ReadOnlyView) float64) {
+	if len(r.pending) == 0 {
+		r.boxes[dc].state = TaskPending
+		return
+	}
+	task := r.pending[len(r.pending)-1]
+	r.pending = r.pending[:len(r.pending)-1]
+	attempt := r.attempts[task]
+	r.attempts[task] = attempt + 1
+	if attempt > 0 {
+		r.stats.Retries++
+	}
+	if r.cfg.Org == HomogeneousTimeMux {
+		// The core served a CC role slice before taking DC work.
+		r.stats.RoleSwaps++
+	}
+	box := &r.boxes[dc]
+	box.state = TaskRunning
+	box.task = task
+	box.attempt = attempt
+	box.epoch++
+	epoch := box.epoch
+
+	dur := r.taskDuration()
+	if r.cfg.Org == HomogeneousTimeMux {
+		dur += r.cfg.RoleSwapCost
+	}
+	// The watchdog arms relative to the expected completion: a DC
+	// silent past its deadline by the watchdog margin is presumed hung.
+	r.deadline[dc] = r.eng.Now() + dur + r.cfg.Watchdog
+
+	if f, ok := r.faults[[2]int{task, attempt}]; ok && !f.Corrupt {
+		at := r.eng.Now() + dur*mathx.Clamp(f.After, 0, 1)
+		if f.Hang {
+			// The DC goes silent: no mailbox update; only the watchdog
+			// will notice.
+			return
+		}
+		// Crash: the DC's fast-reset hardware flags the mailbox.
+		if _, err := r.eng.At(at, func() {
+			if box.epoch == epoch {
+				box.state = TaskFailed
+			}
+		}); err != nil {
+			panic(err)
+		}
+		return
+	}
+	corrupt, corruptValue := false, 0.0
+	if f, ok := r.faults[[2]int{task, attempt}]; ok && f.Corrupt {
+		corrupt, corruptValue = true, f.CorruptValue
+	}
+	if _, err := r.eng.At(r.eng.Now()+dur, func() {
+		if box.epoch != epoch {
+			return // superseded assignment; result discarded
+		}
+		box.state = TaskDone
+		box.done = r.eng.Now()
+		if corrupt {
+			box.result = corruptValue
+		} else {
+			box.result = work(task, shared)
+		}
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// poll is the CC housekeeping loop: collect finished results, reassign
+// failed or hung tasks, and keep watchdogs per DC.
+func (r *Runtime) poll(shared ReadOnlyView, work func(int, ReadOnlyView) float64) {
+	now := r.eng.Now()
+	active := false
+	for dc := range r.boxes {
+		box := &r.boxes[dc]
+		switch box.state {
+		case TaskDone:
+			if r.cfg.ResultGuard != nil && !r.cfg.ResultGuard(box.task, box.result) {
+				// Excessive degradation: the preset limit rejects the
+				// result and the task is treated like a crash (Section
+				// 6.3's binning of (ii) under (i)).
+				r.stats.GuardRejects++
+				r.pending = append(r.pending, box.task)
+				r.assign(dc, shared, work)
+				break
+			}
+			r.stats.Results[box.task] = box.result
+			if !r.done[box.task] {
+				r.done[box.task] = true
+				r.stats.TasksDone++
+			}
+			r.assign(dc, shared, work)
+		case TaskFailed:
+			r.stats.Crashes++
+			r.pending = append(r.pending, box.task)
+			r.assign(dc, shared, work)
+		case TaskRunning:
+			if now > r.deadline[dc] {
+				// Watchdog: reset the silent DC and restart its task.
+				r.stats.WatchdogFires++
+				r.pending = append(r.pending, box.task)
+				r.assign(dc, shared, work)
+			}
+		}
+		if box.state == TaskRunning {
+			active = true
+		}
+	}
+	// CC poll work costs cycles on the control core; folded into the
+	// poll cadence (the CC is otherwise idle between polls).
+	if active || len(r.pending) > 0 {
+		if _, err := r.eng.After(r.pollInterval(), func() { r.poll(shared, work) }); err != nil {
+			panic(err)
+		}
+	} else {
+		r.pollLive = false
+		r.stats.Time = now
+	}
+}
+
+// checkpoint snapshots completed-task state; under Speculative
+// operation this is the reduced-frequency safety net of Section 4.1.
+func (r *Runtime) checkpoint() {
+	r.stats.Checkpoints++
+	copy(r.snapshot, r.done)
+	if r.stats.TasksDone < r.cfg.NumTasks {
+		if _, err := r.eng.After(r.cfg.CheckpointEvery+r.cfg.CheckpointCost, r.checkpoint); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// wipeout is the catastrophic event: all in-flight DC work dies and
+// completed results not captured by the last checkpoint are lost; the
+// CC restores the snapshot and re-queues everything else.
+func (r *Runtime) wipeout() {
+	r.stats.Recoveries++
+	r.pending = r.pending[:0]
+	for task := r.cfg.NumTasks - 1; task >= 0; task-- {
+		if r.snapshot[task] {
+			continue // preserved by the checkpoint
+		}
+		if r.done[task] {
+			r.stats.TasksRedone++
+			r.stats.TasksDone--
+			r.done[task] = false
+		}
+		r.pending = append(r.pending, task)
+	}
+	// Every non-snapshot task is already re-queued above (including any
+	// in flight); reset the DCs and orphan their in-flight events.
+	for dc := range r.boxes {
+		box := &r.boxes[dc]
+		box.state = TaskPending
+		box.epoch++
+	}
+	for dc := range r.boxes {
+		r.assign(dc, r.shared, r.work)
+	}
+	// The CC housekeeping loop may have wound down if the run had
+	// drained before the wipeout; restart it.
+	if !r.pollLive && len(r.pending) > 0 {
+		r.pollLive = true
+		if _, err := r.eng.After(r.pollInterval(), func() { r.poll(r.shared, r.work) }); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// pollInterval returns the effective housekeeping period: the nominal
+// PollEvery, stretched when each CC's share of mailboxes takes longer
+// than that to sweep at the control-core frequency.
+func (r *Runtime) pollInterval() float64 {
+	if r.cfg.PollOps <= 0 {
+		return r.cfg.PollEvery
+	}
+	perCC := (float64(r.cfg.NumDC) / float64(r.cfg.NumCC)) * r.cfg.PollOps
+	sweep := perCC / (r.cfg.CtrlFreq * 1e9)
+	if sweep > r.cfg.PollEvery {
+		return sweep
+	}
+	return r.cfg.PollEvery
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func testRuntimeConfig() RuntimeConfig {
+	return RuntimeConfig{
+		Org:       HomogeneousSpatial,
+		NumCC:     1,
+		NumDC:     8,
+		DataFreq:  0.5,
+		CtrlFreq:  1.0,
+		TaskOps:   5e6, // 10 ms per task at 0.5 GHz
+		NumTasks:  32,
+		PollEvery: 1e-3,
+		Watchdog:  30e-3,
+	}
+}
+
+func TestRuntimeValidate(t *testing.T) {
+	good := testRuntimeConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*RuntimeConfig){
+		func(c *RuntimeConfig) { c.NumCC = 0 },
+		func(c *RuntimeConfig) { c.NumDC = 0 },
+		func(c *RuntimeConfig) { c.DataFreq = 0 },
+		func(c *RuntimeConfig) { c.TaskOps = 0 },
+		func(c *RuntimeConfig) { c.PollEvery = 0 },
+		func(c *RuntimeConfig) { c.Watchdog = 0.5e-3 }, // below poll interval
+		func(c *RuntimeConfig) { c.CheckpointCost = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := testRuntimeConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid runtime config accepted", i)
+		}
+	}
+}
+
+func runAll(t *testing.T, cfg RuntimeConfig) RunStats {
+	t.Helper()
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := NewSharedRegion([]float64{2, 3, 4})
+	stats, err := rt.Run(shared.View(), func(task int, in ReadOnlyView) float64 {
+		return float64(task) * in.At(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestRuntimeCompletesAllTasks(t *testing.T) {
+	stats := runAll(t, testRuntimeConfig())
+	if stats.TasksDone != 32 {
+		t.Fatalf("done %d of 32", stats.TasksDone)
+	}
+	for task, r := range stats.Results {
+		if r != float64(task)*2 {
+			t.Fatalf("task %d result %g", task, r)
+		}
+	}
+	// 32 tasks on 8 DCs at 10 ms each: at least 40 ms of virtual time,
+	// plus polling slack.
+	if stats.Time < 0.040 || stats.Time > 0.060 {
+		t.Errorf("virtual time %.3fs implausible", stats.Time)
+	}
+	if stats.Crashes != 0 || stats.WatchdogFires != 0 || stats.Retries != 0 {
+		t.Errorf("phantom failures: %+v", stats)
+	}
+}
+
+func TestRuntimeDeterminism(t *testing.T) {
+	a := runAll(t, testRuntimeConfig())
+	b := runAll(t, testRuntimeConfig())
+	if a.Time != b.Time || a.TasksDone != b.TasksDone {
+		t.Error("runtime is not deterministic")
+	}
+}
+
+func TestCrashDetectedAndRetried(t *testing.T) {
+	cfg := testRuntimeConfig()
+	cfg.Faults = []FaultEvent{{Task: 5, Attempt: 0, Hang: false, After: 0.5}}
+	stats := runAll(t, cfg)
+	if stats.TasksDone != 32 {
+		t.Fatalf("done %d of 32", stats.TasksDone)
+	}
+	if stats.Crashes != 1 || stats.Retries != 1 {
+		t.Errorf("crashes %d retries %d, want 1/1", stats.Crashes, stats.Retries)
+	}
+	if stats.WatchdogFires != 0 {
+		t.Error("crash should be caught at a poll, not by the watchdog")
+	}
+	if stats.Results[5] != 10 {
+		t.Errorf("retried task result %g", stats.Results[5])
+	}
+}
+
+func TestHangCaughtByWatchdog(t *testing.T) {
+	cfg := testRuntimeConfig()
+	cfg.Faults = []FaultEvent{{Task: 3, Attempt: 0, Hang: true, After: 0.2}}
+	stats := runAll(t, cfg)
+	if stats.TasksDone != 32 {
+		t.Fatalf("done %d of 32", stats.TasksDone)
+	}
+	if stats.WatchdogFires != 1 {
+		t.Errorf("watchdog fired %d times, want 1", stats.WatchdogFires)
+	}
+	// The hang steals a DC for the watchdog period, so the run must
+	// take longer than a clean one (the retry overlaps other DCs'
+	// work, so the penalty is one extra task round, not the full
+	// watchdog timeout).
+	clean := runAll(t, testRuntimeConfig())
+	if stats.Time <= clean.Time {
+		t.Errorf("hung run (%.3fs) not slower than clean run (%.3fs)", stats.Time, clean.Time)
+	}
+}
+
+func TestRepeatedFaultsEventuallyComplete(t *testing.T) {
+	cfg := testRuntimeConfig()
+	cfg.Faults = []FaultEvent{
+		{Task: 7, Attempt: 0, Hang: false, After: 0.9},
+		{Task: 7, Attempt: 1, Hang: true, After: 0.1},
+		{Task: 7, Attempt: 2, Hang: false, After: 0.3},
+	}
+	stats := runAll(t, cfg)
+	if stats.TasksDone != 32 {
+		t.Fatalf("done %d of 32", stats.TasksDone)
+	}
+	if stats.Retries != 3 || stats.Crashes != 2 || stats.WatchdogFires != 1 {
+		t.Errorf("stats %+v", stats)
+	}
+	if stats.Results[7] != 14 {
+		t.Errorf("task 7 result %g", stats.Results[7])
+	}
+}
+
+func TestTimeMuxPaysRoleSwaps(t *testing.T) {
+	cfg := testRuntimeConfig()
+	base := runAll(t, cfg)
+	cfg.Org = HomogeneousTimeMux
+	cfg.RoleSwapCost = 2e-3
+	mux := runAll(t, cfg)
+	if mux.RoleSwaps != 32 {
+		t.Errorf("role swaps = %d, want one per task", mux.RoleSwaps)
+	}
+	if mux.Time <= base.Time {
+		t.Error("time-multiplexed organization should pay for protection-domain switches")
+	}
+}
+
+func TestCheckpointsCount(t *testing.T) {
+	cfg := testRuntimeConfig()
+	cfg.CheckpointEvery = 10e-3
+	cfg.CheckpointCost = 0.1e-3
+	stats := runAll(t, cfg)
+	if stats.Checkpoints < 3 {
+		t.Errorf("only %d checkpoints over ~45 ms", stats.Checkpoints)
+	}
+}
+
+func TestSharedRegionIsReadOnly(t *testing.T) {
+	r := NewSharedRegion([]float64{1, 2, 3})
+	v := r.View()
+	if v.Len() != 3 || v.At(1) != 2 {
+		t.Fatal("view misreads")
+	}
+	// The original slice cannot alias the region.
+	src := []float64{9}
+	r2 := NewSharedRegion(src)
+	src[0] = 42
+	if r2.View().At(0) != 9 {
+		t.Error("region aliases caller memory")
+	}
+}
+
+func TestSlowerDCsTakeLonger(t *testing.T) {
+	fast := testRuntimeConfig()
+	slow := testRuntimeConfig()
+	slow.DataFreq = fast.DataFreq / 2
+	tf := runAll(t, fast).Time
+	ts := runAll(t, slow).Time
+	if ratio := ts / tf; math.Abs(ratio-2) > 0.2 {
+		t.Errorf("halving DC frequency scaled time by %.2f, want ~2", ratio)
+	}
+}
+
+func TestResultGuardCatchesCorruption(t *testing.T) {
+	cfg := testRuntimeConfig()
+	// Healthy results are task*2 (0..62); the guard rejects anything
+	// beyond 100 as excessive degradation.
+	cfg.ResultGuard = func(task int, v float64) bool { return v >= 0 && v <= 100 }
+	cfg.Faults = []FaultEvent{
+		{Task: 9, Attempt: 0, Corrupt: true, CorruptValue: 1e9},
+		{Task: 20, Attempt: 0, Corrupt: true, CorruptValue: -5},
+	}
+	stats := runAll(t, cfg)
+	if stats.TasksDone != 32 {
+		t.Fatalf("done %d of 32", stats.TasksDone)
+	}
+	if stats.GuardRejects != 2 {
+		t.Errorf("guard rejected %d results, want 2", stats.GuardRejects)
+	}
+	if stats.Retries != 2 {
+		t.Errorf("retries = %d", stats.Retries)
+	}
+	// The retried attempts deliver the true values.
+	if stats.Results[9] != 18 || stats.Results[20] != 40 {
+		t.Errorf("guarded tasks ended with %g / %g", stats.Results[9], stats.Results[20])
+	}
+}
+
+func TestResultGuardAcceptsCleanRun(t *testing.T) {
+	cfg := testRuntimeConfig()
+	cfg.ResultGuard = func(task int, v float64) bool { return v >= 0 && v <= 100 }
+	stats := runAll(t, cfg)
+	if stats.GuardRejects != 0 {
+		t.Errorf("clean run rejected %d results", stats.GuardRejects)
+	}
+	if stats.TasksDone != 32 {
+		t.Fatalf("done %d", stats.TasksDone)
+	}
+}
+
+func TestCorruptionLoopTerminatesViaAttempts(t *testing.T) {
+	// A task corrupted on its first two attempts succeeds on the third.
+	cfg := testRuntimeConfig()
+	cfg.ResultGuard = func(task int, v float64) bool { return v < 100 }
+	cfg.Faults = []FaultEvent{
+		{Task: 4, Attempt: 0, Corrupt: true, CorruptValue: 1e9},
+		{Task: 4, Attempt: 1, Corrupt: true, CorruptValue: 1e9},
+	}
+	stats := runAll(t, cfg)
+	if stats.GuardRejects != 2 || stats.Results[4] != 8 {
+		t.Errorf("stats %+v", stats)
+	}
+}
+
+func TestWipeoutWithCheckpointRecovers(t *testing.T) {
+	cfg := testRuntimeConfig()
+	// Rounds complete at ~10/20/30/40 ms; checkpoints at ~12/24/36 ms.
+	// A wipeout at 32 ms loses exactly the 30 ms round (8 tasks).
+	cfg.CheckpointEvery = 12e-3
+	cfg.CheckpointCost = 0.1e-3
+	cfg.Wipeouts = []float64{32e-3}
+	stats := runAll(t, cfg)
+	if stats.Recoveries != 1 {
+		t.Fatalf("recoveries = %d", stats.Recoveries)
+	}
+	if stats.TasksDone != 32 {
+		t.Fatalf("done %d of 32 after recovery", stats.TasksDone)
+	}
+	for task, r := range stats.Results {
+		if r != float64(task)*2 {
+			t.Fatalf("task %d result %g after recovery", task, r)
+		}
+	}
+	// Only the work since the last checkpoint is redone.
+	if stats.TasksRedone == 0 || stats.TasksRedone > 16 {
+		t.Errorf("redone %d tasks; the checkpoint should bound the loss window", stats.TasksRedone)
+	}
+}
+
+func TestWipeoutWithoutCheckpointRestartsFromScratch(t *testing.T) {
+	withCkpt := testRuntimeConfig()
+	withCkpt.CheckpointEvery = 5e-3
+	withCkpt.CheckpointCost = 0.1e-3
+	withCkpt.Wipeouts = []float64{30e-3}
+	protected := runAll(t, withCkpt)
+
+	bare := testRuntimeConfig()
+	bare.Wipeouts = []float64{30e-3}
+	unprotected := runAll(t, bare)
+
+	if protected.TasksDone != 32 || unprotected.TasksDone != 32 {
+		t.Fatal("runs did not complete")
+	}
+	// Without a checkpoint, everything completed before the wipeout is
+	// lost and redone; checkpoints bound the loss.
+	if unprotected.TasksRedone <= protected.TasksRedone {
+		t.Errorf("checkpointing did not reduce redone work: %d vs %d",
+			protected.TasksRedone, unprotected.TasksRedone)
+	}
+	if unprotected.Time <= protected.Time {
+		t.Errorf("unprotected recovery (%.3fs) not slower than checkpointed (%.3fs)",
+			unprotected.Time, protected.Time)
+	}
+}
+
+func TestLateWipeoutRestartsPolling(t *testing.T) {
+	// The wipeout fires after the run would have drained; the runtime
+	// must restart its housekeeping and still finish everything.
+	cfg := testRuntimeConfig()
+	cfg.Wipeouts = []float64{0.2} // well past the ~45 ms clean finish
+	stats := runAll(t, cfg)
+	if stats.TasksDone != 32 {
+		t.Fatalf("done %d of 32 after late wipeout", stats.TasksDone)
+	}
+	if stats.Recoveries != 1 || stats.TasksRedone != 32 {
+		t.Errorf("stats %+v", stats)
+	}
+}
+
+func TestCCBottleneck(t *testing.T) {
+	// Section 4.2: too few control cores throttle the housekeeping loop.
+	base := testRuntimeConfig()
+	base.NumDC = 64
+	base.NumTasks = 256
+	base.PollOps = 4e5 // 0.4 ms of CC work per mailbox at 1 GHz
+
+	starved := base
+	starved.NumCC = 1 // 64 mailboxes -> 25.6 ms sweep >> 1 ms PollEvery
+	provisioned := base
+	provisioned.NumCC = 32
+
+	slow := runAll(t, starved)
+	fast := runAll(t, provisioned)
+	if slow.TasksDone != 256 || fast.TasksDone != 256 {
+		t.Fatal("runs incomplete")
+	}
+	if slow.Time <= fast.Time*1.2 {
+		t.Errorf("CC bottleneck invisible: 1 CC %.3fs vs 32 CCs %.3fs", slow.Time, fast.Time)
+	}
+	// Without per-poll cost, the CC count is immaterial.
+	free := base
+	free.PollOps = 0
+	free.NumCC = 1
+	if runAll(t, free).Time > fast.Time*1.1 {
+		t.Error("zero-cost polling should not bottleneck")
+	}
+}

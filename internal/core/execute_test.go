@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// The closed loop: the timing the CC/DC runtime simulates and the
+// quality the real kernel delivers must agree with the solver's
+// predictions for the same operating point.
+func TestExecuteMatchesPredictions(t *testing.T) {
+	s := newTestSolver(t)
+	for _, flavor := range []Flavor{Safe, Speculative} {
+		op, err := s.Solve(s.Bench.DefaultInput(), flavor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := s.Execute(op, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The runtime's parallel-phase makespan tracks the analytic
+		// parallel time within polling slack.
+		parTime := op.ExecTime * (1 - s.profile.SerialFrac)
+		if ex.VirtualTime < 0.8*parTime || ex.VirtualTime > 1.2*op.ExecTime {
+			t.Errorf("%v: virtual time %.4fs vs predicted parallel %.4fs", flavor, ex.VirtualTime, parTime)
+		}
+		// All tasks completed without phantom failures.
+		if ex.Stats.TasksDone != 4*op.N || ex.Stats.Retries != 0 {
+			t.Errorf("%v: runtime stats %+v", flavor, ex.Stats)
+		}
+		// Measured quality agrees with the front's interpolation.
+		if math.Abs(ex.MeasuredRelQuality-op.RelQuality) > 0.1 {
+			t.Errorf("%v: measured quality %.3f vs predicted %.3f", flavor, ex.MeasuredRelQuality, op.RelQuality)
+		}
+	}
+}
+
+func TestExecutePlanMatchesFlavor(t *testing.T) {
+	s := newTestSolver(t)
+	safeOp, err := s.Solve(s.Bench.DefaultInput(), Safe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safeEx, err := s.Execute(safeOp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safeEx.Plan.Active() {
+		t.Error("safe execution carries a fault plan")
+	}
+	specOp, err := s.Solve(s.Bench.DefaultInput(), Speculative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specEx, err := s.Execute(specOp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specEx.Plan.Mode != fault.Drop {
+		t.Error("speculative execution lacks the Drop plan")
+	}
+	// Speculation costs measured quality, as predicted.
+	if specEx.MeasuredRelQuality >= safeEx.MeasuredRelQuality {
+		t.Errorf("speculative measured quality %.3f not below safe %.3f",
+			specEx.MeasuredRelQuality, safeEx.MeasuredRelQuality)
+	}
+	// Both meet the same iso-time target; speculation's win is fewer
+	// engaged cores for it, not less time.
+	if specOp.N >= safeOp.N {
+		t.Errorf("speculative N=%d not below safe N=%d", specOp.N, safeOp.N)
+	}
+	ratio := specEx.VirtualTime / safeEx.VirtualTime
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("iso-time violated between flavors: %.4f vs %.4f", specEx.VirtualTime, safeEx.VirtualTime)
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	s := newTestSolver(t)
+	if _, err := s.Execute(OperatingPoint{Benchmark: "other", N: 1, Freq: 1}, 1); err == nil {
+		t.Error("cross-benchmark execution accepted")
+	}
+	if _, err := s.Execute(OperatingPoint{Benchmark: s.Bench.Name()}, 1); err == nil {
+		t.Error("degenerate operating point accepted")
+	}
+}

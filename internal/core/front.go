@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/mathx"
+	"repro/internal/rms"
+)
+
+// QualityFront is the measured quality-vs-problem-size characteristic
+// of one benchmark under one error scenario (Figures 2 and 4), usable
+// as an interpolator by the operating-point solver.
+type QualityFront struct {
+	Benchmark string
+	Scenario  string // "default", "drop-1/4", "drop-1/2"
+	// Parallel arrays, ascending in problem size.
+	Inputs       []float64
+	ProblemSizes []float64
+	Quality      []float64 // absolute quality vs the hyper-accurate reference
+}
+
+// At interpolates the absolute quality at a relative problem size.
+func (f *QualityFront) At(problemSize float64) float64 {
+	return mathx.InterpMonotone(f.ProblemSizes, f.Quality, problemSize)
+}
+
+// QualityModel bundles a benchmark's fronts for all three scenarios and
+// answers the solver's quality queries.
+type QualityModel struct {
+	Benchmark string
+	Default   *QualityFront
+	Quarter   *QualityFront
+	Half      *QualityFront
+}
+
+// MeasureFronts runs the benchmark across its sweep under Default,
+// Drop 1/4 and Drop 1/2 and returns the three fronts. This is the
+// expensive profiling step behind Figures 2 and 4; reuse the result.
+// The (scenario, input) cells are independent deterministic executions,
+// so they run concurrently, bounded by GOMAXPROCS.
+func MeasureFronts(b rms.Benchmark, seed int64) (*QualityModel, error) {
+	ref, err := rms.Reference(b, seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: reference run: %w", err)
+	}
+	scenarios := []struct {
+		name string
+		plan fault.Plan
+	}{
+		{"default", fault.Plan{}},
+		{"drop-1/4", fault.DropQuarter()},
+		{"drop-1/2", fault.DropHalf()},
+	}
+	sweep := b.Sweep()
+	type cell struct {
+		scenario int
+		point    int
+	}
+	qualities := make([][]float64, len(scenarios))
+	errs := make([][]error, len(scenarios))
+	var cells []cell
+	for s := range scenarios {
+		qualities[s] = make([]float64, len(sweep))
+		errs[s] = make([]error, len(sweep))
+		for p := range sweep {
+			cells = append(cells, cell{s, p})
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, c := range cells {
+		wg.Add(1)
+		go func(c cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			in := sweep[c.point]
+			res, err := b.Run(in, b.DefaultThreads(), scenarios[c.scenario].plan, seed)
+			if err != nil {
+				errs[c.scenario][c.point] = fmt.Errorf("core: %s %s at input %g: %w",
+					b.Name(), scenarios[c.scenario].name, in, err)
+				return
+			}
+			q, err := b.Quality(res, ref)
+			if err != nil {
+				errs[c.scenario][c.point] = err
+				return
+			}
+			qualities[c.scenario][c.point] = q
+		}(c)
+	}
+	wg.Wait()
+
+	qm := &QualityModel{Benchmark: b.Name()}
+	for s, sc := range scenarios {
+		front := &QualityFront{Benchmark: b.Name(), Scenario: sc.name}
+		for p, in := range sweep {
+			if errs[s][p] != nil {
+				return nil, errs[s][p]
+			}
+			front.Inputs = append(front.Inputs, in)
+			front.ProblemSizes = append(front.ProblemSizes, b.ProblemSize(in))
+			front.Quality = append(front.Quality, qualities[s][p])
+		}
+		ensureAscending(front)
+		switch sc.name {
+		case "default":
+			qm.Default = front
+		case "drop-1/4":
+			qm.Quarter = front
+		case "drop-1/2":
+			qm.Half = front
+		}
+	}
+	return qm, nil
+}
+
+func ensureAscending(f *QualityFront) {
+	idx := make([]int, len(f.ProblemSizes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return f.ProblemSizes[idx[a]] < f.ProblemSizes[idx[b]] })
+	in := make([]float64, len(idx))
+	ps := make([]float64, len(idx))
+	q := make([]float64, len(idx))
+	for k, i := range idx {
+		in[k], ps[k], q[k] = f.Inputs[i], f.ProblemSizes[i], f.Quality[i]
+	}
+	f.Inputs, f.ProblemSizes, f.Quality = in, ps, q
+}
+
+// SpeculativeFront picks the error-scenario front Speculative modes pay
+// for: Drop 1/4 normally, but the more conservative Drop 1/2 for
+// benchmarks whose quality degradation under Drop 1/4 is negligible
+// (Section 6.3). Negligible means losing less than negligibleLoss of
+// the default-scenario quality at the default problem size.
+func (qm *QualityModel) SpeculativeFront() *QualityFront {
+	const negligibleLoss = 0.05
+	qDef := qm.Default.At(1)
+	if qDef <= 0 {
+		return qm.Quarter
+	}
+	if qm.Quarter.At(1) >= (1-negligibleLoss)*qDef {
+		return qm.Half
+	}
+	return qm.Quarter
+}
+
+// RelativeQuality returns QNTV/QSTV for an operating point: the quality
+// of the scenario front at the operating problem size, normalized by
+// the error-free quality at the default problem size (the STV
+// baseline's quality).
+func (qm *QualityModel) RelativeQuality(front *QualityFront, problemSize float64) float64 {
+	base := qm.Default.At(1)
+	if base == 0 {
+		return 0
+	}
+	return front.At(problemSize) / base
+}

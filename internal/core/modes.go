@@ -1,0 +1,107 @@
+// Package core implements Accordion itself: the framework of Section 3
+// that designates the problem size as the knob trading the degree of
+// parallelism against the degree of vulnerability to variation, the
+// operating modes of Table 1, the iso-execution-time operating-point
+// solver behind Figures 6 and 7, and the decoupled control-core /
+// data-core architecture of Section 4.
+package core
+
+import "fmt"
+
+// Mode is the problem-size accord of Table 1.
+type Mode int
+
+// Accordion basic modes of operation.
+const (
+	// Still keeps the problem size intact (strong scaling): NNTV must
+	// grow by at least fSTV/fNTV to retain the STV execution time.
+	Still Mode = iota
+	// Compress shrinks the problem size so the low NTV frequency can
+	// hold the STV execution time at a lower core count — at the price
+	// of output quality. The only mode where NNTV may stay below NSTV.
+	Compress
+	// Expand grows the problem size; N must then grow by more than the
+	// problem does so per-core work still shrinks by fNTV/fSTV.
+	Expand
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Still:
+		return "Still"
+	case Compress:
+		return "Compress"
+	case Expand:
+		return "Expand"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ModeOf classifies a relative problem size into its Table 1 mode.
+func ModeOf(problemSize float64) Mode {
+	const tol = 1e-9
+	switch {
+	case problemSize < 1-tol:
+		return Compress
+	case problemSize > 1+tol:
+		return Expand
+	}
+	return Still
+}
+
+// Flavor selects how fNTV relates to the safe frequency (Table 1's
+// second axis).
+type Flavor int
+
+// Accordion mode flavors.
+const (
+	// Safe caps fNTV at fNTV,Safe, excluding variation-induced timing
+	// errors entirely.
+	Safe Flavor = iota
+	// Speculative lets fNTV exceed fNTV,Safe, embracing timing errors
+	// the application's fault tolerance absorbs.
+	Speculative
+)
+
+// String names the flavor.
+func (f Flavor) String() string {
+	if f == Safe {
+		return "Safe"
+	}
+	return "Speculative"
+}
+
+// Constraints captures Table 1's per-mode relations so they can be
+// checked mechanically against solver output.
+type Constraints struct {
+	ProblemVsSTV  int  // -1 smaller, 0 equal, +1 larger (vs STV problem size)
+	NMayShrink    bool // whether NNTV < NSTV is admissible
+	QualityAtMost bool // whether QNTV <= QSTV is forced by the mode itself
+}
+
+// TableOne returns the paper's Table 1 row for a mode.
+func TableOne(m Mode) Constraints {
+	switch m {
+	case Compress:
+		return Constraints{ProblemVsSTV: -1, NMayShrink: true, QualityAtMost: true}
+	case Expand:
+		return Constraints{ProblemVsSTV: +1, NMayShrink: false, QualityAtMost: false}
+	default:
+		return Constraints{ProblemVsSTV: 0, NMayShrink: false, QualityAtMost: true}
+	}
+}
+
+// RequiredN returns the paper's Section 3.2 closed-form lower bound on
+// the NTV core count for iso-execution time at a given problem size:
+// NNTV >= NSTV * (fSTV / fNTV) * (ProblemSizeNTV / ProblemSizeSTV),
+// i.e. per-core work must shrink by fNTV/fSTV. The bound ignores the
+// memory wall (fixed-nanosecond misses cost fewer cycles at NTV), so
+// the solver's N may undercut it; it can never exceed it by more than
+// the IPC advantage.
+func RequiredN(nSTV int, fSTV, fNTV, problemSize float64) float64 {
+	if fNTV <= 0 {
+		return 0
+	}
+	return float64(nSTV) * fSTV / fNTV * problemSize
+}

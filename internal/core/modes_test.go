@@ -1,0 +1,68 @@
+package core
+
+import "testing"
+
+func TestModeOf(t *testing.T) {
+	cases := []struct {
+		ps   float64
+		want Mode
+	}{
+		{0.5, Compress}, {0.999, Compress}, {1.0, Still}, {1.001, Expand}, {2.5, Expand},
+	}
+	for _, c := range cases {
+		if got := ModeOf(c.ps); got != c.want {
+			t.Errorf("ModeOf(%g) = %v, want %v", c.ps, got, c.want)
+		}
+	}
+}
+
+func TestModeAndFlavorStrings(t *testing.T) {
+	if Still.String() != "Still" || Compress.String() != "Compress" || Expand.String() != "Expand" {
+		t.Error("mode names wrong")
+	}
+	if Safe.String() != "Safe" || Speculative.String() != "Speculative" {
+		t.Error("flavor names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode must render")
+	}
+}
+
+// Table 1 semantics: Compress is the only mode admitting NNTV < NSTV;
+// Still and Compress cannot improve quality beyond the STV baseline.
+func TestTableOne(t *testing.T) {
+	if c := TableOne(Compress); !c.NMayShrink || c.ProblemVsSTV != -1 || !c.QualityAtMost {
+		t.Errorf("Compress row wrong: %+v", c)
+	}
+	if c := TableOne(Expand); c.NMayShrink || c.ProblemVsSTV != +1 || c.QualityAtMost {
+		t.Errorf("Expand row wrong: %+v", c)
+	}
+	if c := TableOne(Still); c.NMayShrink || c.ProblemVsSTV != 0 || !c.QualityAtMost {
+		t.Errorf("Still row wrong: %+v", c)
+	}
+}
+
+func TestOrganizationString(t *testing.T) {
+	if HomogeneousSpatial.String() != "homogeneous-spatial" ||
+		HomogeneousTimeMux.String() != "homogeneous-timemux" ||
+		HeterogeneousClusters.String() != "heterogeneous" {
+		t.Error("organization names wrong")
+	}
+	if Organization(7).String() == "" {
+		t.Error("unknown organization must render")
+	}
+}
+
+func TestRequiredNFormula(t *testing.T) {
+	// NSTV=16, fSTV=3.2, fNTV=0.4, PS=1: 16*8 = 128.
+	if got := RequiredN(16, 3.2, 0.4, 1); got != 128 {
+		t.Errorf("RequiredN = %g", got)
+	}
+	// Compress halves the problem: half the cores.
+	if got := RequiredN(16, 3.2, 0.4, 0.5); got != 64 {
+		t.Errorf("RequiredN = %g", got)
+	}
+	if RequiredN(16, 3.2, 0, 1) != 0 {
+		t.Error("zero fNTV should degenerate to 0")
+	}
+}

@@ -1,0 +1,212 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 6) from the reproduction's own models and
+// kernels. Each experiment returns a Table whose rows correspond to the
+// series the paper plots; cmd/accordion renders them as text and
+// bench_test.go regenerates them under `go test -bench`.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/chip"
+	"repro/internal/rms"
+	"repro/internal/rms/bodytrack"
+	"repro/internal/rms/btcmine"
+	"repro/internal/rms/canneal"
+	"repro/internal/rms/ferret"
+	"repro/internal/rms/hotspot"
+	"repro/internal/rms/srad"
+	"repro/internal/rms/xh264"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	Seed     int64 // master seed for workloads and fault streams
+	ChipSeed int64 // seed of the representative chip sample
+	Chips    int   // population size for population-level statistics
+}
+
+// DefaultConfig returns the configuration all recorded results use.
+func DefaultConfig() Config {
+	return Config{Seed: 1, ChipSeed: 2014, Chips: 20}
+}
+
+// Table is one regenerated artifact: the rows behind a figure's series
+// or a table of the paper.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%*s", w, c)
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// AllBenchmarks constructs the six RMS kernels in Table 3 order.
+func AllBenchmarks() ([]rms.Benchmark, error) {
+	cb, err := canneal.New()
+	if err != nil {
+		return nil, err
+	}
+	fb, err := ferret.New()
+	if err != nil {
+		return nil, err
+	}
+	bb, err := bodytrack.New()
+	if err != nil {
+		return nil, err
+	}
+	return []rms.Benchmark{cb, fb, bb, xh264.New(), hotspot.New(), srad.New()}, nil
+}
+
+// AllKernels returns every kernel in the repository: the Table 3 six
+// plus the Section 7 strict weak-scaling miner.
+func AllKernels() ([]rms.Benchmark, error) {
+	all, err := AllBenchmarks()
+	if err != nil {
+		return nil, err
+	}
+	return append(all, btcmine.New()), nil
+}
+
+// BenchmarkByName returns one kernel (including btcmine).
+func BenchmarkByName(name string) (rms.Benchmark, error) {
+	all, err := AllKernels()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range all {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+}
+
+// RepresentativeChip returns the chip sample all single-chip
+// experiments use.
+func RepresentativeChip(cfg Config) (*chip.Chip, error) {
+	return chip.New(chip.DefaultConfig(), cfg.ChipSeed)
+}
+
+// Runner is the signature every experiment driver shares.
+type Runner func(Config) ([]*Table, error)
+
+// Registry maps experiment ids to drivers.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig1a":          Fig1a,
+		"fig1b":          Fig1b,
+		"fig1c":          Fig1c,
+		"fig2":           Fig2,
+		"fig4":           Fig4,
+		"fig5a":          Fig5a,
+		"fig5b":          Fig5b,
+		"fig6":           Fig6,
+		"fig7":           Fig7,
+		"table2":         Table2,
+		"table3":         Table3,
+		"headline":       Headline,
+		"corruption":     Corruption,
+		"baselines":      Baselines,
+		"weakscale":      Weakscale,
+		"vddsweep":       VddSweep,
+		"dynamic":        Dynamic,
+		"population":     Population,
+		"cpi":            CPI,
+		"corruptionwide": CorruptionWide,
+		"ccratio":        CCRatio,
+	}
+}
+
+// IDs lists the experiment ids in presentation order. The first twelve
+// regenerate the paper's artifacts; weakscale, dynamic and population
+// extend the study along the axes Section 7 identifies.
+func IDs() []string {
+	return []string{"fig1a", "fig1b", "fig1c", "fig2", "fig4", "fig5a", "fig5b",
+		"fig6", "fig7", "table2", "table3", "headline", "corruption", "baselines",
+		"weakscale", "vddsweep", "dynamic", "population", "cpi", "corruptionwide", "ccratio"}
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func e1(v float64) string { return fmt.Sprintf("%.1e", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }
+
+// RenderCSV writes the table as CSV: a comment line with id/title, the
+// header row, data rows, and one comment line per note.
+func (t *Table) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,431 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, id string) []*Table {
+	t.Helper()
+	r, ok := Registry()[id]
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tables, err := r(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 {
+		t.Fatal("no tables produced")
+	}
+	for _, tab := range tables {
+		if tab.ID != id {
+			t.Errorf("table id %q under experiment %q", tab.ID, id)
+		}
+		if len(tab.Rows) == 0 || len(tab.Columns) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("%s: row width %d vs %d columns", id, len(row), len(tab.Columns))
+			}
+		}
+	}
+	return tables
+}
+
+func cell(t *testing.T, tab *Table, row int, col string) float64 {
+	t.Helper()
+	for i, c := range tab.Columns {
+		if c == col {
+			v, err := strconv.ParseFloat(tab.Rows[row][i], 64)
+			if err != nil {
+				t.Fatalf("cell %s[%d]: %v", col, row, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no column %q", col)
+	return 0
+}
+
+func TestRegistryCoversIDs(t *testing.T) {
+	reg := Registry()
+	for _, id := range IDs() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("id %s missing from registry", id)
+		}
+	}
+	if len(reg) != len(IDs()) {
+		t.Error("registry and id list disagree")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Columns: []string{"a", "bb"}, Notes: []string{"n"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== x: t", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1aBandsRecorded(t *testing.T) {
+	tabs := run(t, "fig1a")
+	tab := tabs[0]
+	// Frequency strictly increases with Vdd.
+	prev := -1.0
+	for i := range tab.Rows {
+		f := cell(t, tab, i, "f(GHz)")
+		if f < prev {
+			t.Fatal("frequency not monotone in Vdd")
+		}
+		prev = f
+	}
+	if len(tab.Notes) < 2 {
+		t.Error("missing band notes")
+	}
+}
+
+func TestFig1bCliff(t *testing.T) {
+	tab := run(t, "fig1b")[0]
+	first := cell(t, tab, 0, "Perr/cycle")
+	last := cell(t, tab, len(tab.Rows)-1, "Perr/cycle")
+	if first < 0.1 {
+		t.Errorf("Perr at 0.45V = %g, want near 1", first)
+	}
+	if last > 1e-6 {
+		t.Errorf("Perr at the top of the sweep = %g, want tiny", last)
+	}
+	// Monotone non-increasing across the cliff.
+	prev := first
+	for i := 1; i < len(tab.Rows); i++ {
+		v := cell(t, tab, i, "Perr/cycle")
+		if v > prev*1.001 {
+			t.Fatal("error rate not decreasing in Vdd")
+		}
+		prev = v
+	}
+}
+
+func TestFig1cOrdering(t *testing.T) {
+	tab := run(t, "fig1c")[0]
+	for i := range tab.Rows {
+		if cell(t, tab, i, "11nm(%)") <= cell(t, tab, i, "22nm(%)") {
+			t.Fatal("11nm guardband not above 22nm")
+		}
+	}
+}
+
+func TestFig2Monotone(t *testing.T) {
+	for _, tab := range run(t, "fig2") {
+		prev := -1.0
+		for i := range tab.Rows {
+			q := cell(t, tab, i, "Default")
+			if q < prev-0.02 {
+				t.Fatalf("%s: Default quality dips along problem size", tab.Title)
+			}
+			prev = q
+			if cell(t, tab, i, "Drop 1/2") > cell(t, tab, i, "Default")+0.03 {
+				t.Fatalf("%s: Drop 1/2 beats Default", tab.Title)
+			}
+		}
+	}
+}
+
+func TestFig5aHistogramSums(t *testing.T) {
+	tab := run(t, "fig5a")[0]
+	total := 0
+	for i := range tab.Rows {
+		total += int(cell(t, tab, i, "clusters"))
+	}
+	if total != 36 {
+		t.Errorf("histogram covers %d clusters", total)
+	}
+}
+
+func TestFig5bPerCluster(t *testing.T) {
+	tab := run(t, "fig5b")[0]
+	if len(tab.Rows) != 36 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		f16 := cell(t, tab, i, "f@1e-16")
+		f4 := cell(t, tab, i, "f@1e-4")
+		fmax := cell(t, tab, i, "fmax(Perr~1)")
+		if !(f16 < f4 && f4 < fmax) {
+			t.Fatalf("row %d: frequencies out of order", i)
+		}
+	}
+}
+
+func TestHeadlineBands(t *testing.T) {
+	tab := run(t, "headline")[0]
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d benchmarks", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		safe := cell(t, tab, i, "safe MIPS/W")
+		spec := cell(t, tab, i, "spec MIPS/W")
+		if spec <= safe {
+			t.Errorf("row %d: speculative not above safe", i)
+		}
+		// The headline band: every benchmark lands near the paper's
+		// 1.61-1.87x at iso-execution time.
+		if spec < 1.3 || spec > 2.2 {
+			t.Errorf("row %d: spec MIPS/W %.2f outside the plausible band", i, spec)
+		}
+	}
+}
+
+func TestCorruptionOrdering(t *testing.T) {
+	tab := run(t, "corruption")[0]
+	var drop, invert float64
+	for i, row := range tab.Rows {
+		if row[0] == "drop" {
+			drop = cell(t, tab, i, "Q(1/2)/Qnom")
+		}
+		if row[0] == "invert" {
+			invert = cell(t, tab, i, "Q(1/2)/Qnom")
+		}
+	}
+	if invert >= drop {
+		t.Errorf("invert (%.3f) should corrupt more than drop (%.3f)", invert, drop)
+	}
+}
+
+func TestBaselinesOrdering(t *testing.T) {
+	tab := run(t, "baselines")[0]
+	vals := map[string]float64{}
+	for i, row := range tab.Rows {
+		vals[row[0]] = cell(t, tab, i, "GHz/W")
+	}
+	if vals["booster"] <= vals["naive-ntc"] || vals["energysmart"] <= vals["naive-ntc"] {
+		t.Error("mitigation schemes must beat naive NTC")
+	}
+	if vals["naive-ntc"] <= 0 {
+		t.Error("degenerate naive baseline")
+	}
+}
+
+func TestTable3RunsAllBenchmarks(t *testing.T) {
+	tab := run(t, "table3")[0]
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range tab.Rows {
+		names[row[0]] = true
+	}
+	for _, want := range []string{"canneal", "ferret", "bodytrack", "x264", "hotspot", "srad"} {
+		if !names[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestTable2Static(t *testing.T) {
+	tab := run(t, "table2")[0]
+	if len(tab.Rows) < 10 {
+		t.Error("Table 2 too short")
+	}
+}
+
+func TestBenchmarkByName(t *testing.T) {
+	if _, err := BenchmarkByName("canneal"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BenchmarkByName("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestWeakscaleNote(t *testing.T) {
+	tabs := run(t, "weakscale")
+	found := false
+	for _, n := range tabs[0].Notes {
+		if strings.Contains(n, "quality return on expansion") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing the Section 7 comparison note")
+	}
+}
+
+func TestDynamicBeatsStatic(t *testing.T) {
+	tab := run(t, "dynamic")[0]
+	if len(tab.Rows)%2 != 0 {
+		t.Fatal("rows must pair static/dynamic")
+	}
+	for i := 0; i < len(tab.Rows); i += 2 {
+		static := cell(t, tab, i, "missed epochs")
+		dynamic := cell(t, tab, i+1, "missed epochs")
+		if tab.Rows[i][1] != "static" || tab.Rows[i+1][1] != "dynamic" {
+			t.Fatal("row order broken")
+		}
+		if dynamic >= static {
+			t.Errorf("rate row %d: dynamic misses %v >= static %v", i/2, dynamic, static)
+		}
+		// Re-planning costs some power.
+		if cell(t, tab, i+1, "mean power(W)") < cell(t, tab, i, "mean power(W)") {
+			t.Errorf("rate row %d: dynamic cheaper than static, suspicious", i/2)
+		}
+	}
+}
+
+func TestPopulationSpread(t *testing.T) {
+	tab := run(t, "population")[0]
+	for i, row := range tab.Rows {
+		lo := cell(t, tab, i, "min")
+		mid := cell(t, tab, i, "p50")
+		hi := cell(t, tab, i, "max")
+		if !(lo <= mid && mid <= hi) {
+			t.Errorf("row %q out of order: %v %v %v", row[0], lo, mid, hi)
+		}
+	}
+	// The efficiency-gain row must stay in the paper's neighbourhood.
+	for i, row := range tab.Rows {
+		if row[0] == "MIPS/W gain vs STV" {
+			if lo := cell(t, tab, i, "min"); lo < 1.2 {
+				t.Errorf("weakest chip gain %v implausibly low", lo)
+			}
+			if hi := cell(t, tab, i, "max"); hi > 2.3 {
+				t.Errorf("luckiest chip gain %v implausibly high", hi)
+			}
+		}
+	}
+}
+
+func TestVddSweepPeaksNearVth(t *testing.T) {
+	tab := run(t, "vddsweep")[0]
+	first := cell(t, tab, 0, "MIPS/W vs STV")
+	last := cell(t, tab, len(tab.Rows)-1, "MIPS/W vs STV")
+	if first <= last {
+		t.Errorf("efficiency at VddNTV (%.2f) not above the high-Vdd end (%.2f)", first, last)
+	}
+	// Every row remains an efficiency win over STV.
+	for i := range tab.Rows {
+		if v := cell(t, tab, i, "MIPS/W vs STV"); v < 1 {
+			t.Errorf("row %d: NTV less efficient than STV (%.2f)", i, v)
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Columns: []string{"a", "b"}, Notes: []string{"n"}}
+	tab.AddRow("1", "2,3") // embedded comma must be quoted
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# x: t", "a,b", `1,"2,3"`, "# note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCPIValidation(t *testing.T) {
+	tab := run(t, "cpi")[0]
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		simCPI := cell(t, tab, i, "CPI@1GHz (sim)")
+		modelCPI := cell(t, tab, i, "CPI@1GHz (model)")
+		if simCPI < 0.5*modelCPI || simCPI > 2*modelCPI {
+			t.Errorf("row %d: trace CPI %.2f vs model %.2f diverge beyond 2x", i, simCPI, modelCPI)
+		}
+		// The memory wall: CPI worsens at the STV frequency.
+		if cell(t, tab, i, "CPI@3.5GHz (sim)") <= simCPI {
+			t.Errorf("row %d: CPI did not grow with frequency", i)
+		}
+	}
+}
+
+func TestCorruptionWideVerdicts(t *testing.T) {
+	tab := run(t, "corruptionwide")[0]
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		drop := cell(t, tab, i, "drop 1/4")
+		if drop < 0.5 {
+			t.Errorf("%s: Drop 1/4 collapsed to %.3f; the error model's bound is broken", row[0], drop)
+		}
+		// Every row carries a verdict consistent with its numbers.
+		flip := cell(t, tab, i, "flip 1/4")
+		stuck := cell(t, tab, i, "stuck-all-0 1/4")
+		excessive := flip < drop || stuck < drop
+		wantPrefix := "corruption bounded"
+		if excessive {
+			wantPrefix = "excessive corruption"
+		}
+		if !strings.HasPrefix(row[len(row)-1], wantPrefix) {
+			t.Errorf("%s: verdict %q inconsistent with numbers", row[0], row[len(row)-1])
+		}
+	}
+}
+
+func TestCCRatioBottleneck(t *testing.T) {
+	tab := run(t, "ccratio")[0]
+	first := cell(t, tab, 0, "makespan(ms)")
+	last := cell(t, tab, len(tab.Rows)-1, "makespan(ms)")
+	if first <= last*1.5 {
+		t.Errorf("one CC (%.1f ms) should clearly bottleneck vs many (%.1f ms)", first, last)
+	}
+	// Makespan is non-increasing in CC count.
+	prev := first
+	for i := 1; i < len(tab.Rows); i++ {
+		v := cell(t, tab, i, "makespan(ms)")
+		if v > prev*1.001 {
+			t.Fatalf("makespan rose with more CCs at row %d", i)
+		}
+		prev = v
+	}
+}
+
+func TestFig6AndFig7Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pareto fronts are expensive")
+	}
+	for _, id := range []string{"fig6", "fig7"} {
+		tabs := run(t, id)
+		want := 4
+		if id == "fig7" {
+			want = 2
+		}
+		if len(tabs) != want {
+			t.Fatalf("%s produced %d tables", id, len(tabs))
+		}
+		for _, tab := range tabs {
+			// 2 flavors x 9 sweep points per benchmark.
+			if len(tab.Rows) != 18 {
+				t.Errorf("%s: %d rows", tab.Title, len(tab.Rows))
+			}
+		}
+	}
+}
+
+func TestAllKernelsIncludesMiner(t *testing.T) {
+	all, err := AllKernels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 7 {
+		t.Fatalf("%d kernels", len(all))
+	}
+	if _, err := BenchmarkByName("btcmine"); err != nil {
+		t.Error(err)
+	}
+}

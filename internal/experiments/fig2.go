@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rms"
+)
+
+// qualityFrontTable renders one benchmark's Figure 2/4 panel: relative
+// quality (normalized to the default-input quality) versus relative
+// problem size under Default, Drop 1/4 and Drop 1/2.
+func qualityFrontTable(id string, b rms.Benchmark, cfg Config) (*Table, error) {
+	qm, err := core.MeasureFronts(b, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	qDef := qm.Default.At(1)
+	if qDef <= 0 {
+		return nil, fmt.Errorf("experiments: %s default quality %g", b.Name(), qDef)
+	}
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("%s: quality vs problem size (input: %s)", b.Name(), b.AccordionInput()),
+		Columns: []string{"input", "prob.size", "Default", "Drop 1/4", "Drop 1/2"},
+	}
+	for i := range qm.Default.ProblemSizes {
+		t.AddRow(
+			f2(qm.Default.Inputs[i]),
+			f3(qm.Default.ProblemSizes[i]),
+			f3(qm.Default.Quality[i]/qDef),
+			f3(qm.Quarter.Quality[i]/qDef),
+			f3(qm.Half.Quality[i]/qDef),
+		)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("quality metric: %s; threads: %d; quality normalized to the default input's",
+			b.QualityMetricName(), b.DefaultThreads()))
+	return t, nil
+}
+
+// Fig2 regenerates Figure 2: quality of computing versus problem size
+// for canneal and hotspot under Default, Drop 1/4 and Drop 1/2.
+func Fig2(cfg Config) ([]*Table, error) {
+	var out []*Table
+	for _, name := range []string{"canneal", "hotspot"} {
+		b, err := BenchmarkByName(name)
+		if err != nil {
+			return nil, err
+		}
+		t, err := qualityFrontTable("fig2", b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig4 regenerates Figure 4: the same fronts for ferret, bodytrack,
+// x264 and srad.
+func Fig4(cfg Config) ([]*Table, error) {
+	var out []*Table
+	for _, name := range []string{"ferret", "bodytrack", "x264", "srad"} {
+		b, err := BenchmarkByName(name)
+		if err != nil {
+			return nil, err
+		}
+		t, err := qualityFrontTable("fig4", b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden tests pin the exact rendered output of the cheap, fully
+// deterministic experiments. A reproduction's numbers must not drift
+// silently: any model change that moves them must be made visible here.
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/experiments.
+func TestGoldenArtifacts(t *testing.T) {
+	ids := []string{"fig1a", "fig1b", "fig1c", "fig5a", "fig5b", "table2"}
+	reg := Registry()
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables, err := reg[id](DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			for _, tab := range tables {
+				if err := tab.Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			path := filepath.Join("testdata", "golden_"+id+".txt")
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s drifted from its golden output; if intentional, regenerate with UPDATE_GOLDEN=1 and update EXPERIMENTS.md\n--- got ---\n%s\n--- want ---\n%s",
+					id, buf.String(), string(want))
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPlanInfected checks the plan invariants for arbitrary fractions:
+// Infected never panics, the per-window count always equals Num, and
+// CountInfected agrees with brute force.
+func FuzzPlanInfected(f *testing.F) {
+	f.Add(1, 4, 64, false)
+	f.Add(1, 2, 64, true)
+	f.Add(3, 7, 100, false)
+	f.Add(0, 5, 10, true)
+	f.Fuzz(func(t *testing.T, num, den, n int, contiguous bool) {
+		if den <= 0 || den > 1000 || num < 0 || num > den || n < 0 || n > 10000 {
+			t.Skip()
+		}
+		p := Plan{Mode: Drop, Num: num, Den: den, Contiguous: contiguous}
+		count := 0
+		for i := 0; i < n; i++ {
+			if p.Infected(i) {
+				count++
+			}
+		}
+		if got := p.CountInfected(n); got != count {
+			t.Fatalf("CountInfected(%d) = %d, brute force %d (plan %+v)", n, got, count, p)
+		}
+		// Full windows carry exactly Num infections.
+		if n >= den {
+			w := 0
+			for i := 0; i < den; i++ {
+				if p.Infected(i) {
+					w++
+				}
+			}
+			if w != num {
+				t.Fatalf("window carries %d infections, want %d", w, num)
+			}
+		}
+	})
+}
+
+// FuzzCorruptValue checks that no corruption mode can smuggle NaN or
+// infinities into a victim's reduction.
+func FuzzCorruptValue(f *testing.F) {
+	f.Add(uint64(0x3FF0000000000000), 3, int64(7))
+	f.Add(uint64(0), 0, int64(0))
+	f.Add(^uint64(0), 50, int64(-1))
+	f.Fuzz(func(t *testing.T, bits uint64, task int, seed int64) {
+		v := math.Float64frombits(bits)
+		if math.IsNaN(v) {
+			t.Skip()
+		}
+		for _, m := range CorruptionModes() {
+			p := Plan{Mode: m, Num: 1, Den: 1, Seed: seed}
+			got := p.CorruptValue(v, task)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("mode %v produced %v from %v", m, got, v)
+			}
+		}
+	})
+}

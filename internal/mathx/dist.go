@@ -1,0 +1,160 @@
+package mathx
+
+import "math"
+
+// NormalCDF returns P(X <= x) for X ~ N(mu, sigma^2).
+func NormalCDF(x, mu, sigma float64) float64 {
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// StdNormalCDF returns P(X <= x) for X ~ N(0, 1).
+func StdNormalCDF(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+
+// StdNormalTail returns P(X > x) for X ~ N(0, 1), accurate deep into the
+// tail (down to ~1e-300) where 1-CDF would lose all precision.
+func StdNormalTail(x float64) float64 { return 0.5 * math.Erfc(x/math.Sqrt2) }
+
+// StdNormalPDF returns the standard normal density at x.
+func StdNormalPDF(x float64) float64 {
+	return math.Exp(-0.5*x*x) / math.Sqrt(2*math.Pi)
+}
+
+// StdNormalQuantile returns the x with P(X <= x) = p for X ~ N(0, 1).
+// It uses the Acklam rational approximation refined by one Halley step,
+// giving ~1e-15 relative accuracy over p in (0, 1).
+func StdNormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Acklam's coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement.
+	e := StdNormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+// StdNormalTailQuantile returns x with P(X > x) = q, stable for tiny q
+// (q down to ~1e-300) where StdNormalQuantile(1-q) would round to +Inf.
+func StdNormalTailQuantile(q float64) float64 {
+	if q >= 0.5 {
+		return StdNormalQuantile(1 - q)
+	}
+	if q <= 0 {
+		return math.Inf(1)
+	}
+	// Solve StdNormalTail(x) = q by Newton iteration on the log-tail,
+	// seeded with the asymptotic expansion x ~ sqrt(-2 ln q).
+	x := math.Sqrt(-2 * math.Log(q))
+	for i := 0; i < 60; i++ {
+		t := StdNormalTail(x)
+		if t <= 0 {
+			break
+		}
+		// d/dx ln tail = -pdf/tail.
+		step := (math.Log(t) - math.Log(q)) * t / StdNormalPDF(x)
+		x += step
+		if math.Abs(step) < 1e-14*math.Max(1, math.Abs(x)) {
+			break
+		}
+	}
+	return x
+}
+
+// Clamp bounds v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates between a and b by t in [0, 1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// InterpMonotone evaluates the piecewise-linear function through the
+// points (xs[i], ys[i]) at x. xs must be strictly increasing. Values
+// outside the domain clamp to the boundary ys.
+func InterpMonotone(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return math.NaN()
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (x - xs[lo]) / (xs[hi] - xs[lo])
+	return Lerp(ys[lo], ys[hi], t)
+}
+
+// InvertMonotone finds x with f(x) = target for a monotone-increasing f
+// on [lo, hi] by bisection. It returns the closest endpoint when the
+// target lies outside f's range.
+func InvertMonotone(f func(float64) float64, target, lo, hi float64) float64 {
+	flo, fhi := f(lo), f(hi)
+	if target <= flo {
+		return lo
+	}
+	if target >= fhi {
+		return hi
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if f(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*math.Max(1, math.Abs(hi)) {
+			break
+		}
+	}
+	return 0.5 * (lo + hi)
+}

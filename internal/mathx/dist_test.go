@@ -1,0 +1,128 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStdNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{3, 0.9986501019683699},
+	}
+	for _, c := range cases {
+		if got := StdNormalCDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CDF(%g) = %.15f, want %.15f", c.x, got, c.want)
+		}
+	}
+}
+
+func TestStdNormalTailDeep(t *testing.T) {
+	// Tail values must stay meaningful far beyond float64's 1-CDF range.
+	cases := []struct{ x, want float64 }{
+		{6, 9.865876450376946e-10},
+		{8, 6.220960574271786e-16},
+		{10, 7.619853024160525e-24},
+		{15, 3.6709661993126986e-51},
+	}
+	for _, c := range cases {
+		got := StdNormalTail(c.x)
+		if got <= 0 || math.Abs(got/c.want-1) > 1e-6 {
+			t.Errorf("Tail(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-4, 0.01, 0.3, 0.5, 0.7, 0.99, 1 - 1e-9} {
+		x := StdNormalQuantile(p)
+		if got := StdNormalCDF(x); math.Abs(got-p) > 1e-9*math.Max(p, 1e-12) && math.Abs(got-p) > 1e-12 {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, got)
+		}
+	}
+}
+
+func TestTailQuantileRoundTrip(t *testing.T) {
+	for _, q := range []float64{1e-300, 1e-100, 1e-20, 1e-12, 1e-6, 0.01, 0.4} {
+		x := StdNormalTailQuantile(q)
+		got := StdNormalTail(x)
+		if math.Abs(math.Log(got)-math.Log(q)) > 1e-6 {
+			t.Errorf("Tail(TailQuantile(%g)) = %g", q, got)
+		}
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		pa := math.Abs(math.Mod(a, 1))
+		pb := math.Abs(math.Mod(b, 1))
+		if pa == 0 || pb == 0 || pa == pb {
+			return true
+		}
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return StdNormalQuantile(pa) <= StdNormalQuantile(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestInterpMonotone(t *testing.T) {
+	xs := []float64{0, 1, 2, 4}
+	ys := []float64{0, 10, 20, 40}
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1.5, 15}, {3, 30}, {4, 40}, {9, 40},
+	}
+	for _, c := range cases {
+		if got := InterpMonotone(xs, ys, c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Interp(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestInvertMonotone(t *testing.T) {
+	f := func(x float64) float64 { return x*x*x + x }
+	x := InvertMonotone(f, 10, 0, 5)
+	if math.Abs(f(x)-10) > 1e-8 {
+		t.Errorf("InvertMonotone: f(%g) = %g, want 10", x, f(x))
+	}
+	// Out-of-range targets clamp to endpoints.
+	if got := InvertMonotone(f, -5, 0, 5); got != 0 {
+		t.Errorf("low clamp = %g", got)
+	}
+	if got := InvertMonotone(f, 1e9, 0, 5); got != 5 {
+		t.Errorf("high clamp = %g", got)
+	}
+}
+
+func TestNormalCDFScaled(t *testing.T) {
+	// NormalCDF(x, mu, sigma) == StdNormalCDF((x-mu)/sigma).
+	cases := []struct{ x, mu, sigma float64 }{
+		{0, 0, 1}, {3, 1, 2}, {-4, -2, 0.5}, {10, 3, 7},
+	}
+	for _, c := range cases {
+		got := NormalCDF(c.x, c.mu, c.sigma)
+		want := StdNormalCDF((c.x - c.mu) / c.sigma)
+		if math.Abs(got-want) > 1e-14 {
+			t.Errorf("NormalCDF(%v) = %g, want %g", c, got, want)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if Lerp(2, 6, 0.5) != 4 || Lerp(2, 6, 0) != 2 || Lerp(2, 6, 1) != 6 {
+		t.Error("Lerp wrong")
+	}
+}

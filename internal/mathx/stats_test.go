@@ -1,0 +1,120 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %g", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-12 {
+		t.Errorf("stddev = %g", s)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("got (%g,%g)", min, max)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Errorf("p50 = %g", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("p0 = %g", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Errorf("p100 = %g", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Errorf("p25 = %g", p)
+	}
+}
+
+func TestHistogramCoversAll(t *testing.T) {
+	xs := []float64{-10, 0.1, 0.2, 0.5, 0.9, 42}
+	counts, edges := Histogram(xs, 0, 1, 4)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("histogram lost samples: %d of %d", total, len(xs))
+	}
+	if len(edges) != 5 || edges[0] != 0 || edges[4] != 1 {
+		t.Errorf("bad edges %v", edges)
+	}
+}
+
+func TestHistogramProperty(t *testing.T) {
+	g := NewRNG(5)
+	f := func(n uint8) bool {
+		m := int(n%50) + 1
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = g.Uniform(-2, 2)
+		}
+		counts, _ := Histogram(xs, -1, 1, 8)
+		tot := 0
+		for _, c := range counts {
+			tot += c
+		}
+		return tot == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b, r2 := LinFit(xs, ys)
+	if math.Abs(a-1) > 1e-12 || math.Abs(b-2) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Errorf("fit = (%g, %g, %g)", a, b, r2)
+	}
+}
+
+func TestPowerFitExact(t *testing.T) {
+	xs := []float64{1, 2, 4, 8}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 1.7)
+	}
+	c, p, r2 := PowerFit(xs, ys)
+	if math.Abs(c-3) > 1e-9 || math.Abs(p-1.7) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Errorf("power fit = (%g, %g, %g)", c, p, r2)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if r := Pearson(xs, ys); math.Abs(r-1) > 1e-12 {
+		t.Errorf("r = %g", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if r := Pearson(xs, neg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("r = %g", r)
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	if !Monotone([]float64{1, 2, 2, 3}, 0) {
+		t.Error("non-decreasing rejected")
+	}
+	if Monotone([]float64{1, 2, 1.5, 3}, 0.1) {
+		t.Error("large dip accepted")
+	}
+	if !Monotone([]float64{1, 2, 1.95, 3}, 0.1) {
+		t.Error("dip within tolerance rejected")
+	}
+}

@@ -1,0 +1,191 @@
+// Package quality implements the output-quality framework of the paper
+// (Section 5.2): the distortion metric of Misailovic et al. — the mean,
+// across all numeric output values, of the relative error per value —
+// together with the SSD-, PSNR- and SSIM-based comparators the
+// individual benchmarks plug into it. Quality is 1 - distortion and is
+// reported relative to a "hyper-accurate" reference execution.
+package quality
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distortion returns the average relative error per output value of out
+// against the reference ref. Reference values indistinguishable from
+// zero are compared on an absolute scale set by the reference's RMS so
+// that a handful of zero outputs cannot blow up the average.
+func Distortion(out, ref []float64) (float64, error) {
+	if len(out) != len(ref) {
+		return 0, fmt.Errorf("quality: length mismatch %d vs %d", len(out), len(ref))
+	}
+	if len(ref) == 0 {
+		return 0, fmt.Errorf("quality: empty outputs")
+	}
+	scale := rms(ref)
+	if scale == 0 {
+		scale = 1
+	}
+	eps := 1e-9 * scale
+	sum := 0.0
+	for i := range ref {
+		den := math.Abs(ref[i])
+		if den < eps {
+			den = scale
+		}
+		sum += math.Abs(out[i]-ref[i]) / den
+	}
+	return sum / float64(len(ref)), nil
+}
+
+// Quality returns 1 - Distortion(out, ref). A perfect match scores 1;
+// heavily corrupted outputs can score below zero.
+func Quality(out, ref []float64) (float64, error) {
+	d, err := Distortion(out, ref)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - d, nil
+}
+
+func rms(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x * x
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// SSD returns the sum of squared differences between out and ref, the
+// comparator bodytrack and hotspot distortion is built on.
+func SSD(out, ref []float64) (float64, error) {
+	if len(out) != len(ref) {
+		return 0, fmt.Errorf("quality: length mismatch %d vs %d", len(out), len(ref))
+	}
+	s := 0.0
+	for i := range ref {
+		d := out[i] - ref[i]
+		s += d * d
+	}
+	return s, nil
+}
+
+// NRMSE returns the root-mean-square error normalized by the
+// reference's RMS: an SSD-based relative distortion in [0, inf).
+func NRMSE(out, ref []float64) (float64, error) {
+	s, err := SSD(out, ref)
+	if err != nil {
+		return 0, err
+	}
+	if len(ref) == 0 {
+		return 0, fmt.Errorf("quality: empty outputs")
+	}
+	r := rms(ref)
+	if r == 0 {
+		r = 1
+	}
+	return math.Sqrt(s/float64(len(ref))) / r, nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB of out against ref,
+// with the peak taken as the reference's maximum absolute value. A
+// perfect match returns +Inf.
+func PSNR(out, ref []float64) (float64, error) {
+	s, err := SSD(out, ref)
+	if err != nil {
+		return 0, err
+	}
+	if len(ref) == 0 {
+		return 0, fmt.Errorf("quality: empty outputs")
+	}
+	mse := s / float64(len(ref))
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	peak := 0.0
+	for _, x := range ref {
+		if a := math.Abs(x); a > peak {
+			peak = a
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	return 10 * math.Log10(peak*peak/mse), nil
+}
+
+// SSIM returns the mean structural-similarity index of out against ref,
+// both interpreted as w x h images, computed over 8x8 windows with the
+// standard stabilizing constants and dynamic range taken from ref.
+// SSIM is 1 for identical images and degrades toward (and below) 0; it
+// tracks human perception better than PSNR, which is why x264's
+// distortion is based on it (Section 5.2).
+func SSIM(out, ref []float64, w, h int) (float64, error) {
+	if w <= 0 || h <= 0 || len(out) != w*h || len(ref) != w*h {
+		return 0, fmt.Errorf("quality: bad SSIM geometry %dx%d for %d/%d values", w, h, len(out), len(ref))
+	}
+	lo, hi := ref[0], ref[0]
+	for _, x := range ref {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	dr := hi - lo
+	if dr == 0 {
+		dr = 1
+	}
+	c1 := (0.01 * dr) * (0.01 * dr)
+	c2 := (0.03 * dr) * (0.03 * dr)
+
+	const win = 8
+	sum, count := 0.0, 0
+	for by := 0; by+win <= h; by += win {
+		for bx := 0; bx+win <= w; bx += win {
+			var mx, my float64
+			for y := by; y < by+win; y++ {
+				for x := bx; x < bx+win; x++ {
+					mx += out[y*w+x]
+					my += ref[y*w+x]
+				}
+			}
+			n := float64(win * win)
+			mx /= n
+			my /= n
+			var vx, vy, cov float64
+			for y := by; y < by+win; y++ {
+				for x := bx; x < bx+win; x++ {
+					dx, dy := out[y*w+x]-mx, ref[y*w+x]-my
+					vx += dx * dx
+					vy += dy * dy
+					cov += dx * dy
+				}
+			}
+			vx /= n - 1
+			vy /= n - 1
+			cov /= n - 1
+			ssim := ((2*mx*my + c1) * (2*cov + c2)) /
+				((mx*mx + my*my + c1) * (vx + vy + c2))
+			sum += ssim
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("quality: image smaller than the SSIM window")
+	}
+	return sum / float64(count), nil
+}
+
+// Relative normalizes a quality value against the quality measured at
+// the default Accordion input, producing the y-axes of Figures 2 and 4.
+func Relative(q, qDefault float64) float64 {
+	if qDefault == 0 {
+		return math.NaN()
+	}
+	return q / qDefault
+}

@@ -1,0 +1,148 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestDistortionPerfect(t *testing.T) {
+	ref := []float64{1, 2, 3}
+	d, err := Distortion([]float64{1, 2, 3}, ref)
+	if err != nil || d != 0 {
+		t.Fatalf("distortion = %g, err = %v", d, err)
+	}
+	q, _ := Quality([]float64{1, 2, 3}, ref)
+	if q != 1 {
+		t.Errorf("quality = %g", q)
+	}
+}
+
+func TestDistortionRelativeError(t *testing.T) {
+	// 10% relative error on every value -> distortion 0.1.
+	ref := []float64{10, 20, -30}
+	out := []float64{11, 22, -33}
+	d, err := Distortion(out, ref)
+	if err != nil || math.Abs(d-0.1) > 1e-12 {
+		t.Fatalf("distortion = %g, want 0.1", d)
+	}
+}
+
+func TestDistortionZeroRefGuard(t *testing.T) {
+	ref := []float64{0, 100}
+	out := []float64{1, 100}
+	d, err := Distortion(out, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(d, 1) || math.IsNaN(d) || d > 1 {
+		t.Errorf("zero-reference value blew up distortion: %g", d)
+	}
+}
+
+func TestDistortionErrors(t *testing.T) {
+	if _, err := Distortion([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Distortion(nil, nil); err == nil {
+		t.Error("empty outputs accepted")
+	}
+}
+
+func TestSSDAndNRMSE(t *testing.T) {
+	ref := []float64{1, 2, 3, 4}
+	out := []float64{1, 2, 3, 6}
+	s, err := SSD(out, ref)
+	if err != nil || s != 4 {
+		t.Fatalf("SSD = %g", s)
+	}
+	n, err := NRMSE(out, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(1.0) / math.Sqrt(30.0/4.0)
+	if math.Abs(n-want) > 1e-12 {
+		t.Errorf("NRMSE = %g, want %g", n, want)
+	}
+	if v, _ := NRMSE(ref, ref); v != 0 {
+		t.Error("NRMSE of identical vectors should be 0")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	ref := []float64{0, 100, 50, 25}
+	if p, _ := PSNR(ref, ref); !math.IsInf(p, 1) {
+		t.Error("identical images should give infinite PSNR")
+	}
+	noisy := []float64{1, 99, 51, 24}
+	p, err := PSNR(noisy, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MSE = 1, peak = 100 -> 10 log10(10000) = 40 dB.
+	if math.Abs(p-40) > 1e-9 {
+		t.Errorf("PSNR = %g dB, want 40", p)
+	}
+	noisier := []float64{5, 95, 55, 20}
+	p2, _ := PSNR(noisier, ref)
+	if p2 >= p {
+		t.Error("more noise should mean lower PSNR")
+	}
+}
+
+func TestSSIMIdentity(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	w, h := 16, 16
+	img := make([]float64, w*h)
+	for i := range img {
+		img[i] = rng.Uniform(0, 255)
+	}
+	s, err := SSIM(img, img, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("self-SSIM = %g, want 1", s)
+	}
+}
+
+func TestSSIMDegradesWithNoise(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	w, h := 32, 32
+	ref := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			ref[y*w+x] = 128 + 100*math.Sin(float64(x)/3)*math.Cos(float64(y)/4)
+		}
+	}
+	mild := make([]float64, len(ref))
+	harsh := make([]float64, len(ref))
+	for i := range ref {
+		mild[i] = ref[i] + rng.Normal(0, 5)
+		harsh[i] = ref[i] + rng.Normal(0, 60)
+	}
+	sMild, _ := SSIM(mild, ref, w, h)
+	sHarsh, _ := SSIM(harsh, ref, w, h)
+	if !(sHarsh < sMild && sMild < 1) {
+		t.Errorf("SSIM ordering broken: harsh=%g mild=%g", sHarsh, sMild)
+	}
+}
+
+func TestSSIMGeometryErrors(t *testing.T) {
+	if _, err := SSIM(make([]float64, 10), make([]float64, 10), 5, 5); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	if _, err := SSIM(make([]float64, 16), make([]float64, 16), 4, 4); err == nil {
+		t.Error("image smaller than window accepted")
+	}
+}
+
+func TestRelative(t *testing.T) {
+	if Relative(0.9, 0.6) != 1.5 {
+		t.Error("relative quality wrong")
+	}
+	if !math.IsNaN(Relative(1, 0)) {
+		t.Error("zero default should give NaN")
+	}
+}

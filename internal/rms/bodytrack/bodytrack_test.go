@@ -1,0 +1,134 @@
+package bodytrack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/rms"
+	"repro/internal/rms/rmstest"
+)
+
+func newBench(t *testing.T) *Benchmark {
+	t.Helper()
+	b, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestConformance(t *testing.T) {
+	rmstest.Conformance(t, newBench(t))
+}
+
+func TestTrackerFollowsTruth(t *testing.T) {
+	b := newBench(t)
+	res, err := b.Run(8, 16, fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tracked configuration must beat the raw noisy observations in
+	// RMS error against ground truth (filtering actually filters).
+	joints := b.scene.Joints
+	var errTrack, errObs float64
+	for f := 0; f < b.scene.Frames; f++ {
+		for j := 0; j < joints; j++ {
+			dT := res.Output[f*joints+j] - b.scene.True[f][j]
+			dO := b.scene.Obs[f][j] - b.scene.True[f][j]
+			errTrack += dT * dT
+			errObs += dO * dO
+		}
+	}
+	if errTrack >= errObs {
+		t.Errorf("tracker (SSD %.2f) worse than raw observations (SSD %.2f)", errTrack, errObs)
+	}
+}
+
+func TestMoreLayersTrackBetter(t *testing.T) {
+	b := newBench(t)
+	sse := func(layers float64) float64 {
+		res, err := b.Run(layers, 16, fault.Plan{}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joints := b.scene.Joints
+		s := 0.0
+		for f := 0; f < b.scene.Frames; f++ {
+			for j := 0; j < joints; j++ {
+				d := res.Output[f*joints+j] - b.scene.True[f][j]
+				s += d * d
+			}
+		}
+		return s
+	}
+	if e1, e12 := sse(1), sse(12); e12 >= e1 {
+		t.Errorf("12 layers (SSD %.2f) no better than 1 layer (SSD %.2f)", e12, e1)
+	}
+}
+
+// The paper singles bodytrack out as the benchmark whose quality is
+// most sensitive to errors: Drop 1/2 causes excessive degradation.
+func TestDropHurtsMoreThanOtherBenchmarks(t *testing.T) {
+	b := newBench(t)
+	ref, err := rms.Reference(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := func(plan fault.Plan) float64 {
+		res, err := b.Run(b.DefaultInput(), 64, plan, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := b.Quality(res, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	qDef, qHalf := q(fault.Plan{}), q(fault.DropHalf())
+	if qHalf >= qDef {
+		t.Errorf("Drop 1/2 did not hurt: %.3f vs %.3f", qHalf, qDef)
+	}
+}
+
+func TestWeightCorruptionDeterministic(t *testing.T) {
+	b := newBench(t)
+	plan := fault.Plan{Mode: fault.Flip, Num: 1, Den: 4, Seed: 11}
+	r1, err := b.Run(4, 16, plan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b.Run(4, 16, plan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Output {
+		if r1.Output[i] != r2.Output[i] {
+			t.Fatal("corrupted runs differ")
+		}
+	}
+}
+
+func TestOutputShape(t *testing.T) {
+	b := newBench(t)
+	res, err := b.Run(2, 8, fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != b.scene.Frames*b.scene.Joints {
+		t.Fatalf("output length %d", len(res.Output))
+	}
+	for _, v := range res.Output {
+		if math.IsNaN(v) || math.Abs(v) > 10 {
+			t.Fatalf("implausible tracked angle %g", v)
+		}
+	}
+}
+
+func TestInvertRejected(t *testing.T) {
+	b := newBench(t)
+	if _, err := b.Run(4, 8, fault.Plan{Mode: fault.Invert, Num: 1, Den: 4}, 1); err == nil {
+		t.Error("Invert mode accepted")
+	}
+}

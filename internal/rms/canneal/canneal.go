@@ -1,0 +1,287 @@
+// Package canneal reimplements PARSEC's canneal kernel: simulated
+// annealing that minimizes the routing cost — the total half-perimeter
+// wirelength (HPWL) of a synthetic multi-pin netlist placed on a grid.
+//
+// The Accordion input is swaps_per_temp: the number of swap attempts
+// each thread makes per temperature step (Section 5.2; the paper
+// designates it "without loss of generality" over the temperature-step
+// count). Both problem size and quality depend on it linearly
+// (Table 3). Fault injection follows footnote 1: infected threads are
+// prevented from performing swap(); the Invert mode flips the
+// accept/reject decision of infected threads, and the bit-corruption
+// modes corrupt the cost delta feeding that decision.
+package canneal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/mathx"
+	"repro/internal/rms"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Benchmark is the canneal kernel. Construct with New.
+type Benchmark struct {
+	netlist   *workload.Netlist
+	byElem    [][]int // net indices touching each element
+	tempSteps int
+	t0        float64 // initial temperature
+	tDecay    float64 // per-step geometric decay
+	seed      int64
+}
+
+// New builds the canneal benchmark over its standard synthetic netlist.
+func New() (*Benchmark, error) {
+	nl, err := workload.NewNetlist(2000, 50, 50, 2, 0xCA77EA1)
+	if err != nil {
+		return nil, err
+	}
+	byElem := make([][]int, nl.Elements)
+	for i, net := range nl.Nets {
+		for _, e := range net {
+			byElem[e] = append(byElem[e], i)
+		}
+	}
+	return &Benchmark{
+		netlist:   nl,
+		byElem:    byElem,
+		tempSteps: 24,
+		t0:        20,
+		tDecay:    0.75,
+		seed:      0xCA77EA1,
+	}, nil
+}
+
+// Name implements rms.Benchmark.
+func (b *Benchmark) Name() string { return "canneal" }
+
+// Domain implements rms.Benchmark.
+func (b *Benchmark) Domain() string { return "optimization" }
+
+// AccordionInput implements rms.Benchmark.
+func (b *Benchmark) AccordionInput() string { return "swaps per temperature step" }
+
+// QualityMetricName implements rms.Benchmark.
+func (b *Benchmark) QualityMetricName() string { return "relative routing cost" }
+
+// DefaultInput implements rms.Benchmark: 128 swaps per thread per step.
+func (b *Benchmark) DefaultInput() float64 { return 128 }
+
+// HyperInput implements rms.Benchmark.
+func (b *Benchmark) HyperInput() float64 { return 2048 }
+
+// Sweep implements rms.Benchmark.
+func (b *Benchmark) Sweep() []float64 {
+	return rms.SweepGeometric(48, 320, 9)
+}
+
+// ProblemSize implements rms.Benchmark: linear in swaps per step.
+func (b *Benchmark) ProblemSize(input float64) float64 {
+	return input / b.DefaultInput()
+}
+
+// DependencePS implements rms.Benchmark (Table 3).
+func (b *Benchmark) DependencePS() rms.Dependence { return rms.Linear }
+
+// DependenceQ implements rms.Benchmark (Table 3).
+func (b *Benchmark) DependenceQ() rms.Dependence { return rms.Linear }
+
+// DefaultThreads implements rms.Benchmark.
+func (b *Benchmark) DefaultThreads() int { return 64 }
+
+// Profile implements rms.Benchmark. Roughly 10^10 dynamic ops at the
+// default problem size with canneal's pointer-chasing memory behaviour.
+func (b *Benchmark) Profile() sim.WorkProfile {
+	return sim.WorkProfile{
+		OpsPerUnit:   1.0e10,
+		SerialFrac:   0.004,
+		CPIBase:      1.0,
+		MissPerOp:    0.0014,
+		MemLatencyNs: 80,
+	}
+}
+
+// placement maps element -> grid slot and slot -> element (or -1).
+type placement struct {
+	slotOf []int
+	elemAt []int
+	w      int
+}
+
+func (b *Benchmark) initialPlacement() *placement {
+	p := &placement{
+		slotOf: make([]int, b.netlist.Elements),
+		elemAt: make([]int, b.netlist.GridW*b.netlist.GridH),
+		w:      b.netlist.GridW,
+	}
+	for i := range p.elemAt {
+		p.elemAt[i] = -1
+	}
+	// Scatter elements deterministically: a fixed permutation of slots.
+	perm := mathx.NewRNG(b.seed).Perm(len(p.elemAt))
+	for e := 0; e < b.netlist.Elements; e++ {
+		p.slotOf[e] = perm[e]
+		p.elemAt[perm[e]] = e
+	}
+	return p
+}
+
+// netCost returns the half-perimeter wirelength (HPWL) of net i: the
+// semi-perimeter of the bounding box of its pins' slots.
+func (b *Benchmark) netCost(p *placement, i int) float64 {
+	pins := b.netlist.Nets[i]
+	s0 := p.slotOf[pins[0]]
+	minX, maxX := s0%p.w, s0%p.w
+	minY, maxY := s0/p.w, s0/p.w
+	for _, e := range pins[1:] {
+		slot := p.slotOf[e]
+		x, y := slot%p.w, slot/p.w
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	return float64(maxX-minX) + float64(maxY-minY)
+}
+
+// totalCost returns the routing cost of the placement.
+func (b *Benchmark) totalCost(p *placement) float64 {
+	c := 0.0
+	for i := range b.netlist.Nets {
+		c += b.netCost(p, i)
+	}
+	return c
+}
+
+// netTouches reports whether net ni contains element e.
+func (b *Benchmark) netTouches(ni, e int) bool {
+	for _, pin := range b.netlist.Nets[ni] {
+		if pin == e {
+			return true
+		}
+	}
+	return false
+}
+
+// deltaCost returns the routing-cost change of swapping elements a and b.
+func (b *Benchmark) deltaCost(p *placement, ea, eb int) float64 {
+	before := 0.0
+	for _, ni := range b.byElem[ea] {
+		before += b.netCost(p, ni)
+	}
+	for _, ni := range b.byElem[eb] {
+		if b.netTouches(ni, ea) {
+			continue // shared net already counted
+		}
+		before += b.netCost(p, ni)
+	}
+	p.slotOf[ea], p.slotOf[eb] = p.slotOf[eb], p.slotOf[ea]
+	after := 0.0
+	for _, ni := range b.byElem[ea] {
+		after += b.netCost(p, ni)
+	}
+	for _, ni := range b.byElem[eb] {
+		if b.netTouches(ni, ea) {
+			continue
+		}
+		after += b.netCost(p, ni)
+	}
+	p.slotOf[ea], p.slotOf[eb] = p.slotOf[eb], p.slotOf[ea]
+	return after - before
+}
+
+func (p *placement) swap(ea, eb int) {
+	sa, sb := p.slotOf[ea], p.slotOf[eb]
+	p.slotOf[ea], p.slotOf[eb] = sb, sa
+	p.elemAt[sa], p.elemAt[sb] = eb, ea
+}
+
+// Run implements rms.Benchmark. The output is the single routing-cost
+// value; Ops counts swap attempts actually executed.
+func (b *Benchmark) Run(input float64, threads int, plan fault.Plan, seed int64) (rms.Result, error) {
+	if err := rms.ValidateInput(b.Name(), input); err != nil {
+		return rms.Result{}, err
+	}
+	if err := rms.ValidateThreads(b.Name(), threads); err != nil {
+		return rms.Result{}, err
+	}
+	swapsPerTemp := int(math.Round(input))
+	if swapsPerTemp < 1 {
+		swapsPerTemp = 1
+	}
+	p := b.initialPlacement()
+	rngs := make([]*mathx.RNG, threads)
+	root := mathx.NewRNG(seed)
+	for t := range rngs {
+		rngs[t] = root.Split(int64(t))
+	}
+	ops := 0.0
+	temp := b.t0
+	n := b.netlist.Elements
+	for step := 0; step < b.tempSteps; step++ {
+		for t := 0; t < threads; t++ {
+			infected := plan.Infected(t)
+			if infected && plan.Mode == fault.Drop {
+				continue // swap() suppressed for dropped threads
+			}
+			rng := rngs[t]
+			for k := 0; k < swapsPerTemp; k++ {
+				ea, eb := rng.Intn(n), rng.Intn(n)
+				if ea == eb {
+					continue
+				}
+				ops++
+				delta := b.deltaCost(p, ea, eb)
+				if infected && plan.Mode != fault.Invert {
+					// Bit corruption of the decision variable.
+					delta = plan.CorruptValue(delta, t)
+				}
+				accept := delta < 0 || rng.Float64() < math.Exp(-delta/temp)
+				if infected && plan.Mode == fault.Invert {
+					accept = !accept
+				}
+				if accept {
+					p.swap(ea, eb)
+				}
+			}
+		}
+		temp *= b.tDecay
+	}
+	return rms.Result{Output: []float64{b.totalCost(p)}, Ops: ops}, nil
+}
+
+// Quality implements rms.Benchmark: the relative routing cost, the
+// hyper-accurate cost divided by the achieved cost (1 means the run
+// matched the reference; lower means costlier routing).
+func (b *Benchmark) Quality(run, ref rms.Result) (float64, error) {
+	if len(run.Output) != 1 || len(ref.Output) != 1 {
+		return 0, fmt.Errorf("canneal: malformed outputs")
+	}
+	if run.Output[0] <= 0 {
+		return 0, fmt.Errorf("canneal: non-positive routing cost %g", run.Output[0])
+	}
+	return ref.Output[0] / run.Output[0], nil
+}
+
+// Trace implements rms.Benchmark: netlist walking is a pointer chase
+// over a multi-megabyte structure, with most references hitting loop
+// state.
+func (b *Benchmark) Trace() sim.TraceSpec {
+	return sim.TraceSpec{
+		Kind: sim.PointerChase, WorkingSetBytes: 8 << 20,
+		MemFrac: 0.35, HotFrac: 0.995, HotBytes: 16 * 1024, Seed: 0xCA7,
+	}
+}
+
+var _ rms.Benchmark = (*Benchmark)(nil)

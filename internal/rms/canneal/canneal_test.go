@@ -1,0 +1,113 @@
+package canneal
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/rms"
+	"repro/internal/rms/rmstest"
+)
+
+func newBench(t *testing.T) *Benchmark {
+	t.Helper()
+	b, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestConformance(t *testing.T) {
+	rmstest.Conformance(t, newBench(t))
+}
+
+func TestAnnealingReducesCost(t *testing.T) {
+	b := newBench(t)
+	p := b.initialPlacement()
+	initial := b.totalCost(p)
+	res, err := b.Run(b.DefaultInput(), 16, fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] >= initial {
+		t.Errorf("annealing did not improve cost: %.0f -> %.0f", initial, res.Output[0])
+	}
+	if res.Output[0] < 0.05*initial {
+		t.Errorf("cost %.0f implausibly low vs initial %.0f", res.Output[0], initial)
+	}
+}
+
+func TestDeltaCostMatchesTotal(t *testing.T) {
+	b := newBench(t)
+	p := b.initialPlacement()
+	before := b.totalCost(p)
+	ea, eb := 3, 997
+	delta := b.deltaCost(p, ea, eb)
+	p.swap(ea, eb)
+	after := b.totalCost(p)
+	if diff := after - before - delta; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("incremental delta %.3f vs true delta %.3f", delta, after-before)
+	}
+}
+
+func TestSwapMaintainsInvariants(t *testing.T) {
+	b := newBench(t)
+	p := b.initialPlacement()
+	p.swap(10, 20)
+	p.swap(10, 30)
+	for e := 0; e < b.netlist.Elements; e++ {
+		if p.elemAt[p.slotOf[e]] != e {
+			t.Fatalf("slot table inconsistent for element %d", e)
+		}
+	}
+}
+
+func TestDropReducesOps(t *testing.T) {
+	b := newBench(t)
+	full, err := b.Run(64, 16, fault.Plan{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := b.Run(64, 16, fault.DropHalf(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := half.Ops / full.Ops
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("Drop 1/2 executed %.2f of full ops, want ~0.5", ratio)
+	}
+}
+
+// Section 6.3: inverting the swap decision is far more damaging than
+// dropping the same threads, while bit corruptions of the decision
+// variable are no worse than Drop.
+func TestInvertWorseThanDrop(t *testing.T) {
+	b := newBench(t)
+	ref, err := rms.Reference(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := func(plan fault.Plan) float64 {
+		r, err := b.Run(b.DefaultInput(), 64, plan, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := b.Quality(r, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	drop := q(fault.DropQuarter())
+	invert := q(fault.Plan{Mode: fault.Invert, Num: 1, Den: 4})
+	if invert >= drop {
+		t.Errorf("invert (%.3f) should corrupt more than drop (%.3f)", invert, drop)
+	}
+}
+
+func TestTable3Classification(t *testing.T) {
+	b := newBench(t)
+	if b.DependencePS() != rms.Linear || b.DependenceQ() != rms.Linear {
+		t.Error("canneal should be linear/linear per Table 3")
+	}
+}

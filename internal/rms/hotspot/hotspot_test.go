@@ -1,0 +1,171 @@
+package hotspot
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/mathx"
+	"repro/internal/rms"
+	"repro/internal/rms/rmstest"
+)
+
+func TestConformance(t *testing.T) {
+	rmstest.Conformance(t, New())
+}
+
+func TestSolverConverges(t *testing.T) {
+	b := New()
+	r1, err := b.Run(1024, 16, fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b.Run(2048, 16, fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near steady state, doubling iterations barely changes the field.
+	maxDiff := 0.0
+	for i := range r1.Output {
+		if d := math.Abs(r1.Output[i] - r2.Output[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	_, peak := mathx.MinMax(r2.Output)
+	if maxDiff > 0.01*peak {
+		t.Errorf("solver not converged: max drift %.3g vs peak %.3g", maxDiff, peak)
+	}
+}
+
+func TestTemperatureRisesWherePowerIs(t *testing.T) {
+	b := New()
+	res, err := b.Run(512, 8, fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hottest cell must be hotter than the coolest by a clear margin
+	// and all rises must be positive at steady state.
+	lo, hi := mathx.MinMax(res.Output)
+	if lo <= 0 {
+		t.Errorf("temperature rise %.3f not positive", lo)
+	}
+	if hi < 2*lo {
+		t.Error("temperature field suspiciously flat")
+	}
+	// Peak rise correlates with peak power density.
+	peakIdx, peakPow := 0, 0.0
+	for y := 0; y < b.h; y++ {
+		for x := 0; x < b.w; x++ {
+			if p := b.power.At(x, y); p > peakPow {
+				peakPow, peakIdx = p, y*b.w+x
+			}
+		}
+	}
+	if res.Output[peakIdx] < 0.5*hi {
+		t.Error("peak-power cell is not among the hottest")
+	}
+}
+
+func TestDropSlowsConvergence(t *testing.T) {
+	b := New()
+	full, err := b.Run(64, 8, fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := b.Run(64, 8, fault.DropHalf(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropped per-iteration tasks slow the march to steady state: the
+	// dropped run's field must lag the full run's (lower total rise).
+	sumFull, sumDrop := 0.0, 0.0
+	for i := range full.Output {
+		sumFull += full.Output[i]
+		sumDrop += dropped.Output[i]
+	}
+	if sumDrop >= sumFull {
+		t.Errorf("dropped run did not lag: %.1f vs %.1f", sumDrop, sumFull)
+	}
+	// Half the per-iteration tasks dropped: ops shrink accordingly.
+	if ratio := dropped.Ops / full.Ops; math.Abs(ratio-0.5) > 0.05 {
+		t.Errorf("Drop 1/2 ops ratio = %.3f", ratio)
+	}
+	// More iterations still improve a dropped run (monotone fronts of
+	// Figure 2 under errors).
+	ref, err := rms.Reference(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortDrop, err := b.Run(24, 8, fault.DropHalf(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longDrop, err := b.Run(96, 8, fault.DropHalf(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qShort, _ := b.Quality(shortDrop, ref)
+	qLong, _ := b.Quality(longDrop, ref)
+	if qLong <= qShort {
+		t.Errorf("quality under Drop not improving with iterations: %.3f -> %.3f", qShort, qLong)
+	}
+}
+
+// The paper singles out hotspot (with ferret) as highly sensitive to
+// problem size: the same input increase buys a bigger quality gain than
+// canneal's. Verify the quality front spans a wide range.
+func TestQualityHighlySensitive(t *testing.T) {
+	b := New()
+	ref, err := rms.Reference(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := b.Sweep()
+	qLo := mustQuality(t, b, sweep[0], ref)
+	qHi := mustQuality(t, b, sweep[len(sweep)-1], ref)
+	if qHi-qLo < 0.1 {
+		t.Errorf("quality span %.3f-%.3f too flat for hotspot", qLo, qHi)
+	}
+}
+
+func TestCorruptionHitsOnlyInfectedRows(t *testing.T) {
+	b := New()
+	full, err := b.Run(48, 8, fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.Plan{Mode: fault.StuckAll1, Num: 1, Den: 4, Seed: 9}
+	corr, err := b.Run(48, 8, plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < b.h; y++ {
+		tid := y * 8 / b.h
+		same := true
+		for x := 0; x < b.w; x++ {
+			if corr.Output[y*b.w+x] != full.Output[y*b.w+x] {
+				same = false
+				break
+			}
+		}
+		if plan.Infected(tid) && same {
+			t.Errorf("infected row %d not corrupted", y)
+		}
+		if !plan.Infected(tid) && !same {
+			t.Errorf("healthy row %d corrupted", y)
+		}
+	}
+}
+
+func mustQuality(t *testing.T, b rms.Benchmark, input float64, ref rms.Result) float64 {
+	t.Helper()
+	r, err := b.Run(input, b.DefaultThreads(), fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := b.Quality(r, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}

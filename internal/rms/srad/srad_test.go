@@ -1,0 +1,83 @@
+package srad
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/quality"
+	"repro/internal/rms"
+	"repro/internal/rms/rmstest"
+)
+
+func TestConformance(t *testing.T) {
+	rmstest.Conformance(t, New())
+}
+
+func TestDiffusionRemovesSpeckle(t *testing.T) {
+	b := New()
+	res, err := b.Run(128, 8, fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := quality.PSNR(b.noisy.V, b.clean.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := quality.PSNR(res.Output, b.clean.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Errorf("SRAD did not denoise: PSNR %.1f -> %.1f dB", before, after)
+	}
+}
+
+func TestPixelsStayInRange(t *testing.T) {
+	b := New()
+	res, err := b.Run(64, 8, fault.DropQuarter(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Output {
+		if v < 0 || v > 255 {
+			t.Fatalf("pixel %d out of range: %g", i, v)
+		}
+	}
+}
+
+func TestInvertRejected(t *testing.T) {
+	b := New()
+	if _, err := b.Run(32, 8, fault.Plan{Mode: fault.Invert, Num: 1, Den: 4}, 1); err == nil {
+		t.Error("Invert mode accepted by a benchmark with no decision variables")
+	}
+}
+
+func TestDropReducesOps(t *testing.T) {
+	b := New()
+	full, err := b.Run(32, 32, fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := b.Run(32, 32, fault.DropHalf(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := half.Ops / full.Ops
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("Drop 1/2 ops ratio = %.3f", ratio)
+	}
+}
+
+func TestDefaultThreadsIs32(t *testing.T) {
+	// The paper profiles srad under 32 threads, unlike the others' 64.
+	if New().DefaultThreads() != 32 {
+		t.Error("srad must default to 32 threads")
+	}
+}
+
+func TestTable3Classification(t *testing.T) {
+	b := New()
+	if b.DependencePS() != rms.Linear || b.DependenceQ() != rms.Linear {
+		t.Error("srad should be linear/linear per Table 3")
+	}
+}

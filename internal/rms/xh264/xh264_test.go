@@ -1,0 +1,160 @@
+package xh264
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/quality"
+	"repro/internal/rms"
+	"repro/internal/rms/rmstest"
+)
+
+func TestConformance(t *testing.T) {
+	rmstest.Conformance(t, New())
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	b := New()
+	var src, coef, back [blockSize][blockSize]float64
+	for y := 0; y < blockSize; y++ {
+		for x := 0; x < blockSize; x++ {
+			src[y][x] = math.Sin(float64(3*y+x)) * 50
+		}
+	}
+	b.forwardDCT(&src, &coef)
+	b.inverseDCT(&coef, &back)
+	for y := 0; y < blockSize; y++ {
+		for x := 0; x < blockSize; x++ {
+			if math.Abs(back[y][x]-src[y][x]) > 1e-9 {
+				t.Fatalf("DCT round trip failed at (%d,%d): %g vs %g", x, y, back[y][x], src[y][x])
+			}
+		}
+	}
+	// Parseval: energy preserved by the orthonormal transform.
+	var eSrc, eCoef float64
+	for y := 0; y < blockSize; y++ {
+		for x := 0; x < blockSize; x++ {
+			eSrc += src[y][x] * src[y][x]
+			eCoef += coef[y][x] * coef[y][x]
+		}
+	}
+	if math.Abs(eSrc-eCoef) > 1e-6*eSrc {
+		t.Errorf("transform not orthonormal: %g vs %g", eSrc, eCoef)
+	}
+}
+
+func TestHigherPrecisionHigherFidelity(t *testing.T) {
+	b := New()
+	fidelity := func(precision float64) float64 {
+		res, err := b.Run(precision, 8, fault.Plan{}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare the decode against the pristine source frames.
+		orig := make([]float64, 0, len(res.Output))
+		for _, fr := range b.frames {
+			orig = append(orig, fr.V...)
+		}
+		s := 0.0
+		for f := 0; f < numFrames; f++ {
+			v, err := quality.SSIM(res.Output[f*frameW*frameH:(f+1)*frameW*frameH],
+				orig[f*frameW*frameH:(f+1)*frameW*frameH], frameW, frameH)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s += v
+		}
+		return s / numFrames
+	}
+	low, high := fidelity(14), fidelity(40)
+	if high <= low {
+		t.Errorf("precision 40 (SSIM %.3f) no better than 14 (%.3f)", high, low)
+	}
+	if high < 0.95 {
+		t.Errorf("near-lossless encode only reaches SSIM %.3f", high)
+	}
+}
+
+func TestWorkGrowsWithPrecision(t *testing.T) {
+	b := New()
+	lo, err := b.Run(14, 8, fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := b.Run(40, 8, fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Ops <= lo.Ops {
+		t.Error("higher precision must code more coefficients")
+	}
+}
+
+func TestDropConcealsBlocks(t *testing.T) {
+	b := New()
+	full, err := b.Run(26, 64, fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(26, 64, fault.DropQuarter(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameLen := frameW * frameH
+	// First frame: dropped slices conceal to mid-gray.
+	gray := 0
+	for _, v := range res.Output[:frameLen] {
+		if v == 128 {
+			gray++
+		}
+	}
+	if gray < frameLen/4*8/10 {
+		t.Errorf("first frame: only %d of ~%d concealed pixels", gray, frameLen/4)
+	}
+	// Later frames: concealment copies the previous decoded frame, so
+	// dropped pixels equal the co-located pixel one frame earlier.
+	f := 3
+	match, differ := 0, 0
+	for i := 0; i < frameLen; i++ {
+		cur := res.Output[f*frameLen+i]
+		prev := res.Output[(f-1)*frameLen+i]
+		if cur == prev && cur != full.Output[f*frameLen+i] {
+			match++
+		}
+		if cur != full.Output[f*frameLen+i] {
+			differ++
+		}
+	}
+	if differ == 0 {
+		t.Error("drop changed nothing in frame 3")
+	}
+	if match == 0 {
+		t.Error("no evidence of previous-frame concealment in frame 3")
+	}
+}
+
+func TestPrecisionBoundsRejected(t *testing.T) {
+	b := New()
+	if _, err := b.Run(52, 8, fault.Plan{}, 1); err == nil {
+		t.Error("precision implying QP <= 0 accepted")
+	}
+	if _, err := b.Run(60, 8, fault.Plan{}, 1); err == nil {
+		t.Error("precision beyond QP range accepted")
+	}
+}
+
+func TestInvertRejected(t *testing.T) {
+	b := New()
+	if _, err := b.Run(26, 8, fault.Plan{Mode: fault.Invert, Num: 1, Den: 4}, 1); err == nil {
+		t.Error("Invert mode accepted")
+	}
+}
+
+func TestTable3Classification(t *testing.T) {
+	b := New()
+	// x264 is the one benchmark whose PS and Q dependencies differ.
+	if b.DependencePS() != rms.Complex || b.DependenceQ() != rms.Linear {
+		t.Error("x264 should be complex/linear per Table 3")
+	}
+}

@@ -1,0 +1,148 @@
+package sim
+
+import "fmt"
+
+// CacheConfig describes one cache level. Table 2's two levels are
+// provided as constructors: the 64 KB 4-way core-private memory with
+// 2 ns access and the 2 MB 16-way cluster memory with 10 ns access,
+// both with 64-byte lines.
+type CacheConfig struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	LatencyNs float64 // hit latency
+}
+
+// CorePrivateCache returns Table 2's per-core memory configuration.
+func CorePrivateCache() CacheConfig {
+	return CacheConfig{SizeBytes: 64 * 1024, Ways: 4, LineBytes: 64, LatencyNs: 2}
+}
+
+// ClusterCache returns Table 2's per-cluster memory configuration.
+func ClusterCache() CacheConfig {
+	return CacheConfig{SizeBytes: 2 * 1024 * 1024, Ways: 16, LineBytes: 64, LatencyNs: 10}
+}
+
+// Validate reports the first invalid parameter, or nil.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0:
+		return fmt.Errorf("sim: cache dimensions must be positive")
+	case c.LatencyNs < 0:
+		return fmt.Errorf("sim: negative latency")
+	case c.SizeBytes%(c.Ways*c.LineBytes) != 0:
+		return fmt.Errorf("sim: size %d not divisible by ways*line %d", c.SizeBytes, c.Ways*c.LineBytes)
+	}
+	if sets := c.SizeBytes / (c.Ways * c.LineBytes); sets&(sets-1) != 0 {
+		return fmt.Errorf("sim: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of cache sets.
+func (c CacheConfig) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// CacheStats counts accesses.
+type CacheStats struct {
+	Accesses int64
+	Misses   int64
+}
+
+// MissRate returns misses per access, or 0 with no accesses.
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It models
+// hit/miss behaviour only (no coherence; the Accordion memory model
+// forbids cross-core writes to shared state anyway, Section 4.1).
+type Cache struct {
+	cfg     CacheConfig
+	setMask uint64
+	shift   uint
+	// tags[set][way]; age[set][way] holds an LRU stamp.
+	tags  [][]uint64
+	valid [][]bool
+	age   [][]int64
+	clock int64
+	stats CacheStats
+}
+
+// NewCache builds an empty cache.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Sets()
+	c := &Cache{cfg: cfg, setMask: uint64(sets - 1)}
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		c.shift++
+	}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.age = make([][]int64, sets)
+	for s := 0; s < sets; s++ {
+		c.tags[s] = make([]uint64, cfg.Ways)
+		c.valid[s] = make([]bool, cfg.Ways)
+		c.age[s] = make([]int64, cfg.Ways)
+	}
+	return c, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Stats returns the access counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Access looks up addr, filling the line on a miss, and reports whether
+// it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	c.stats.Accesses++
+	line := addr >> c.shift
+	set := line & c.setMask
+	tag := line >> 0
+	ways := c.cfg.Ways
+	tags, valid, age := c.tags[set], c.valid[set], c.age[set]
+	for w := 0; w < ways; w++ {
+		if valid[w] && tags[w] == tag {
+			age[w] = c.clock
+			return true
+		}
+	}
+	c.stats.Misses++
+	// Fill the LRU (or first invalid) way.
+	victim := 0
+	oldest := int64(1<<62 - 1)
+	for w := 0; w < ways; w++ {
+		if !valid[w] {
+			victim = w
+			break
+		}
+		if age[w] < oldest {
+			oldest, victim = age[w], w
+		}
+	}
+	tags[victim] = tag
+	valid[victim] = true
+	age[victim] = c.clock
+	return false
+}
+
+// ResetStats clears the counters but keeps the contents (for warmup).
+func (c *Cache) ResetStats() { c.stats = CacheStats{} }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			c.valid[s][w] = false
+		}
+	}
+	c.clock = 0
+	c.stats = CacheStats{}
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable2CacheGeometry(t *testing.T) {
+	l1 := CorePrivateCache()
+	if err := l1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l1.Sets() != 64*1024/(4*64) {
+		t.Errorf("L1 sets = %d", l1.Sets())
+	}
+	l2 := ClusterCache()
+	if err := l2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Sets() != 2*1024*1024/(16*64) {
+		t.Errorf("L2 sets = %d", l2.Sets())
+	}
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	bad := []CacheConfig{
+		{SizeBytes: 0, Ways: 4, LineBytes: 64},
+		{SizeBytes: 1024, Ways: 3, LineBytes: 64},           // not divisible
+		{SizeBytes: 4 * 3 * 64 * 3, Ways: 4, LineBytes: 64}, // sets not power of two
+		{SizeBytes: 1024, Ways: 4, LineBytes: 64, LatencyNs: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c, err := NewCache(CacheConfig{SizeBytes: 4096, Ways: 4, LineBytes: 64, LatencyNs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Error("warm access missed")
+	}
+	// Same line, different byte: still a hit.
+	if !c.Access(0x103F) {
+		t.Error("same-line access missed")
+	}
+	// Next line: miss.
+	if c.Access(0x1040) {
+		t.Error("next-line access hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Misses != 2 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	// Direct-mapped-per-set conflict: 1 set x 2 ways.
+	c, err := NewCache(CacheConfig{SizeBytes: 128, Ways: 2, LineBytes: 64, LatencyNs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, d := uint64(0), uint64(64), uint64(128)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a)      // a now MRU
+	if c.Access(d) { // evicts b (LRU)
+		t.Error("capacity miss hit")
+	}
+	if !c.Access(a) {
+		t.Error("MRU line evicted")
+	}
+	if c.Access(b) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestCacheWorkingSetFits(t *testing.T) {
+	c, err := NewCache(CorePrivateCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 32 KB streaming loop fits in 64 KB: after the first pass,
+	// everything hits.
+	for pass := 0; pass < 4; pass++ {
+		for addr := uint64(0); addr < 32*1024; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 32*1024/64 {
+		t.Errorf("misses = %d, want one per line", st.Misses)
+	}
+}
+
+func TestCacheThrashing(t *testing.T) {
+	c, err := NewCache(CorePrivateCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1 MB streaming loop with LRU thrashes a 64 KB cache: every
+	// access misses after warmup.
+	for pass := 0; pass < 3; pass++ {
+		for addr := uint64(0); addr < 1024*1024; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	if rate := c.Stats().MissRate(); rate < 0.99 {
+		t.Errorf("thrash miss rate %.3f, want ~1", rate)
+	}
+	c.Reset()
+	if c.Stats().Accesses != 0 {
+		t.Error("reset kept stats")
+	}
+	if c.Access(0) {
+		t.Error("reset kept contents")
+	}
+}
+
+func TestCacheSetIndexingProperty(t *testing.T) {
+	c, err := NewCache(CacheConfig{SizeBytes: 8192, Ways: 2, LineBytes: 64, LatencyNs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint32) bool {
+		addr := uint64(raw)
+		c.Access(addr)
+		return c.Access(addr) // immediate re-access always hits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissRateZeroAccesses(t *testing.T) {
+	if (CacheStats{}).MissRate() != 0 {
+		t.Error("empty stats miss rate not 0")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	m, err := NewMemoryHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold: full trip. Warm: L1 hit.
+	cold := m.AccessNs(0x5000)
+	warm := m.AccessNs(0x5000)
+	if math.Abs(cold-(2+10+80)) > 1e-9 {
+		t.Errorf("cold access %.1f ns, want 92", cold)
+	}
+	if math.Abs(warm-2) > 1e-9 {
+		t.Errorf("warm access %.1f ns, want 2", warm)
+	}
+	// Evict from L1 but not L2: stream 128 KB of other lines, then the
+	// original line costs an L2 hit.
+	for addr := uint64(1 << 20); addr < 1<<20+128*1024; addr += 64 {
+		m.AccessNs(addr)
+	}
+	mid := m.AccessNs(0x5000)
+	if math.Abs(mid-(2+10)) > 1e-9 {
+		t.Errorf("L2 hit %.1f ns, want 12", mid)
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is a deterministic discrete-event simulator with a virtual
+// clock in seconds. The Accordion control-core/data-core runtime
+// (internal/core) schedules task completions, watchdog checks, and
+// checkpoints on it.
+type Engine struct {
+	now   float64
+	queue eventQueue
+	seq   int64 // tiebreaker for simultaneous events, preserves FIFO order
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Event is a cancellable scheduled callback.
+type Event struct {
+	at        float64
+	seq       int64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+// At schedules fn at absolute virtual time t (>= Now) and returns a
+// handle that can cancel it.
+func (e *Engine) At(t float64, fn func()) (*Event, error) {
+	if t < e.now {
+		return nil, fmt.Errorf("sim: scheduling into the past (%.9f < %.9f)", t, e.now)
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// After schedules fn after a delay d (>= 0) from Now.
+func (e *Engine) After(d float64, fn func()) (*Event, error) {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel marks the event dead; it will be skipped when its time comes.
+func (e *Engine) Cancel(ev *Event) {
+	if ev != nil {
+		ev.cancelled = true
+	}
+}
+
+// Step runs the next pending event and reports whether one existed.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run drains the event queue, executing events in time order. It
+// returns the number of events executed. Events may schedule further
+// events; maxEvents bounds runaway simulations (0 means no bound).
+func (e *Engine) Run(maxEvents int) int {
+	n := 0
+	for e.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}
+
+// Pending returns the number of live scheduled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// eventQueue implements heap.Interface ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index, q[j].index = i, j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	if _, err := e.At(3.0, func() { order = append(order, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.At(1.0, func() { order = append(order, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.At(2.0, func() { order = append(order, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order %v", order)
+	}
+	if e.Now() != 3.0 {
+		t.Errorf("clock = %g, want 3", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := e.At(1.0, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev, err := e.At(1, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Cancel(ev)
+	e.Cancel(nil) // must not panic
+	e.Run(0)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestEngineRejectsPast(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.At(5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	if _, err := e.At(1, func() {}); err == nil {
+		t.Error("scheduling into the past accepted")
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			if _, err := e.After(0.5, tick); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if _, err := e.After(0.5, tick); err != nil {
+		t.Fatal(err)
+	}
+	n := e.Run(0)
+	if n != 100 || count != 100 {
+		t.Errorf("ran %d events, counted %d", n, count)
+	}
+	if e.Now() != 50.0 {
+		t.Errorf("clock = %g, want 50", e.Now())
+	}
+}
+
+func TestEngineMaxEvents(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	tick = func() {
+		if _, err := e.After(1, tick); err != nil {
+			t.Error(err)
+		}
+	}
+	if _, err := e.After(1, tick); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Run(25); n != 25 {
+		t.Errorf("bounded run executed %d events", n)
+	}
+}
+
+func TestEnginePending(t *testing.T) {
+	e := NewEngine()
+	ev1, _ := e.At(1, func() {})
+	if _, err := e.At(2, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	e.Cancel(ev1)
+	if e.Pending() != 1 {
+		t.Errorf("pending after cancel = %d, want 1", e.Pending())
+	}
+}

@@ -1,0 +1,201 @@
+// Package sim is the performance-model substrate standing in for the
+// ESESC simulations of the paper: an analytic timing model for
+// data-parallel RMS phases on the clustered manycore (single-issue
+// cores with memory overlap, ~80 ns average memory round trip, bus
+// within a cluster, 2D torus across clusters), plus a deterministic
+// discrete-event engine that the Accordion control-core/data-core
+// runtime schedules on.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// WorkProfile characterizes how one application converts problem size
+// into machine work. Problem size is measured in the benchmark's
+// natural units (normalized to 1.0 at the default Accordion input);
+// OpsPerUnit converts it to dynamic instructions.
+type WorkProfile struct {
+	OpsPerUnit   float64 // dynamic ops per unit of problem size
+	SerialFrac   float64 // fraction of ops in serial control phases (runs on one CC)
+	CPIBase      float64 // core cycles per op absent memory stalls (single-issue: 1)
+	MissPerOp    float64 // long-latency memory accesses per op
+	MemLatencyNs float64 // average memory round-trip latency (Table 2: ~80 ns)
+}
+
+// DefaultProfile returns a generic compute-intensive RMS profile.
+func DefaultProfile() WorkProfile {
+	return WorkProfile{
+		OpsPerUnit:   1e9,
+		SerialFrac:   0.02,
+		CPIBase:      1.0,
+		MissPerOp:    0.002,
+		MemLatencyNs: 80,
+	}
+}
+
+// Validate reports the first implausible field, or nil.
+func (w WorkProfile) Validate() error {
+	switch {
+	case w.OpsPerUnit <= 0:
+		return fmt.Errorf("sim: OpsPerUnit must be positive")
+	case w.SerialFrac < 0 || w.SerialFrac >= 1:
+		return fmt.Errorf("sim: SerialFrac %.3f outside [0, 1)", w.SerialFrac)
+	case w.CPIBase <= 0:
+		return fmt.Errorf("sim: CPIBase must be positive")
+	case w.MissPerOp < 0 || w.MemLatencyNs < 0:
+		return fmt.Errorf("sim: negative memory parameters")
+	}
+	return nil
+}
+
+// IPC returns the effective instructions per cycle at frequency f GHz.
+// Memory latency is fixed in nanoseconds, so higher frequencies stall
+// for more cycles per miss and the effective IPC drops — the classic
+// memory wall that softens NTC's frequency handicap.
+func (w WorkProfile) IPC(fGHz float64) float64 {
+	if fGHz <= 0 {
+		return 0
+	}
+	stallCycles := w.MissPerOp * w.MemLatencyNs * fGHz
+	return 1 / (w.CPIBase + stallCycles)
+}
+
+// ExecTime returns the execution time in seconds of problem size ps
+// (in profile units) on n data cores at common frequency fGHz, with the
+// serial fraction running on one control core at fCC GHz.
+func (w WorkProfile) ExecTime(ps float64, n int, fGHz, fCC float64) float64 {
+	if ps <= 0 {
+		return 0
+	}
+	if n <= 0 || fGHz <= 0 || fCC <= 0 {
+		return math.Inf(1)
+	}
+	ops := ps * w.OpsPerUnit
+	parOps := ops * (1 - w.SerialFrac)
+	serOps := ops * w.SerialFrac
+	tPar := parOps / float64(n) / (fGHz * 1e9 * w.IPC(fGHz))
+	tSer := serOps / (fCC * 1e9 * w.IPC(fCC))
+	return tPar + tSer
+}
+
+// MIPS returns the achieved million-instructions-per-second rate of an
+// execution of problem size ps finishing in t seconds.
+func (w WorkProfile) MIPS(ps, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return ps * w.OpsPerUnit / t / 1e6
+}
+
+// CyclesPerTask returns the core cycles one of n parallel tasks spends
+// executing its share of problem size ps at frequency fGHz. The paper
+// uses this as e in Perr = 1/e: one expected timing error per infected
+// task (Section 6.3).
+func (w WorkProfile) CyclesPerTask(ps float64, n int, fGHz float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	ops := ps * w.OpsPerUnit * (1 - w.SerialFrac) / float64(n)
+	return ops * (w.CPIBase + w.MissPerOp*w.MemLatencyNs*fGHz)
+}
+
+// Torus models the across-cluster 2D torus of Table 2.
+type Torus struct {
+	Side      int     // clusters per row/column (6 for the 36-cluster chip)
+	HopNs     float64 // per-hop latency at the nominal network frequency
+	BusNs     float64 // intra-cluster bus transfer latency
+	NetFreq   float64 // GHz, network frequency (Table 2: 0.8)
+	RouterCyc int     // router pipeline depth in network cycles
+}
+
+// DefaultTorus returns the Table 2 network.
+func DefaultTorus() Torus {
+	return Torus{Side: 6, HopNs: 2.5, BusNs: 2.0, NetFreq: 0.8, RouterCyc: 2}
+}
+
+// Hops returns the minimal hop count between clusters a and b on the
+// torus (wraparound included).
+func (t Torus) Hops(a, b int) int {
+	ax, ay := a%t.Side, a/t.Side
+	bx, by := b%t.Side, b/t.Side
+	dx := abs(ax - bx)
+	if w := t.Side - dx; w < dx {
+		dx = w
+	}
+	dy := abs(ay - by)
+	if w := t.Side - dy; w < dy {
+		dy = w
+	}
+	return dx + dy
+}
+
+// LatencyNs returns the transfer latency between clusters a and b in
+// nanoseconds: the local bus on both ends plus the torus hops.
+func (t Torus) LatencyNs(a, b int) float64 {
+	if a == b {
+		return t.BusNs
+	}
+	hop := t.HopNs + float64(t.RouterCyc)/t.NetFreq
+	return 2*t.BusNs + float64(t.Hops(a, b))*hop
+}
+
+// MeanLatencyNs returns the average cross-cluster latency over all
+// ordered pairs, the quantity behind Table 2's ~80 ns average memory
+// round trip once DRAM access is added.
+func (t Torus) MeanLatencyNs() float64 {
+	n := t.Side * t.Side
+	sum := 0.0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			sum += t.LatencyNs(a, b)
+		}
+	}
+	return sum / float64(n*n)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// QueueingFactor returns the M/D/1 latency multiplier at link
+// utilization u: 1 + u/(2(1-u)), clamped below saturation.
+func QueueingFactor(u float64) float64 {
+	if u < 0 {
+		u = 0
+	}
+	if u > 0.95 {
+		u = 0.95
+	}
+	return 1 + u/(2*(1-u))
+}
+
+// Utilization estimates the average torus-link utilization when n cores
+// at frequency fGHz each generate missPerOp long-latency references per
+// instruction: every miss crosses the network twice (request and reply)
+// over the mean hop count, spread over the torus's unidirectional
+// links at the network frequency.
+func (t Torus) Utilization(n int, fGHz, missPerOp float64) float64 {
+	links := float64(4 * t.Side * t.Side) // 2 dims x 2 directions per cluster
+	if links == 0 || t.NetFreq <= 0 {
+		return 0
+	}
+	meanHops := 0.0
+	clusters := t.Side * t.Side
+	for a := 0; a < clusters; a++ {
+		meanHops += float64(t.Hops(0, a))
+	}
+	meanHops /= float64(clusters)
+	inject := float64(n) * fGHz * missPerOp * 2 // flits per ns
+	return inject * meanHops / (links * t.NetFreq)
+}
+
+// LoadedMemLatencyNs inflates a base memory round trip by the queueing
+// delay at the given utilization.
+func (t Torus) LoadedMemLatencyNs(baseNs float64, util float64) float64 {
+	return baseNs * QueueingFactor(util)
+}

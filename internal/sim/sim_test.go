@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfileValidate(t *testing.T) {
+	if err := DefaultProfile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []WorkProfile{
+		{OpsPerUnit: 0, CPIBase: 1},
+		{OpsPerUnit: 1, SerialFrac: 1, CPIBase: 1},
+		{OpsPerUnit: 1, CPIBase: 0},
+		{OpsPerUnit: 1, CPIBase: 1, MissPerOp: -1},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestIPCDecreasesWithFrequency(t *testing.T) {
+	w := DefaultProfile()
+	if w.IPC(0.5) <= w.IPC(3.3) {
+		t.Error("IPC should fall as f rises (fixed-ns memory latency)")
+	}
+	if w.IPC(0) != 0 {
+		t.Error("IPC at f=0 should be 0")
+	}
+	noMem := w
+	noMem.MissPerOp = 0
+	if math.Abs(noMem.IPC(1)-1/noMem.CPIBase) > 1e-12 {
+		t.Error("memory-free IPC must equal 1/CPIBase")
+	}
+}
+
+func TestExecTimeScaling(t *testing.T) {
+	w := DefaultProfile()
+	w.SerialFrac = 0 // pure weak-scaling kernel
+	t1 := w.ExecTime(1.0, 16, 1.0, 1.0)
+	t2 := w.ExecTime(2.0, 32, 1.0, 1.0)
+	if math.Abs(t2/t1-1) > 1e-9 {
+		t.Errorf("perfect weak scaling violated: %g vs %g", t1, t2)
+	}
+	// Halving f doubles time for compute-bound work.
+	wc := w
+	wc.MissPerOp = 0
+	if r := wc.ExecTime(1, 16, 0.5, 0.5) / wc.ExecTime(1, 16, 1.0, 1.0); math.Abs(r-2) > 1e-9 {
+		t.Errorf("f scaling ratio = %g, want 2", r)
+	}
+}
+
+func TestExecTimeAmdahl(t *testing.T) {
+	w := DefaultProfile()
+	w.SerialFrac = 0.5
+	w.MissPerOp = 0
+	// With half the work serial, infinite parallelism can at best halve
+	// the time.
+	t1 := w.ExecTime(1, 1, 1, 1)
+	tInf := w.ExecTime(1, 1<<20, 1, 1)
+	if r := t1 / tInf; r > 2.01 {
+		t.Errorf("speedup %g exceeds Amdahl bound 2", r)
+	}
+}
+
+func TestExecTimeEdgeCases(t *testing.T) {
+	w := DefaultProfile()
+	if w.ExecTime(0, 16, 1, 1) != 0 {
+		t.Error("zero work should take zero time")
+	}
+	if !math.IsInf(w.ExecTime(1, 0, 1, 1), 1) {
+		t.Error("zero cores should take forever")
+	}
+	if !math.IsInf(w.ExecTime(1, 16, 0, 1), 1) {
+		t.Error("zero frequency should take forever")
+	}
+}
+
+func TestExecTimeMonotoneProperty(t *testing.T) {
+	w := DefaultProfile()
+	f := func(a, b uint8) bool {
+		n1 := int(a%64) + 1
+		n2 := n1 + int(b%64) + 1
+		return w.ExecTime(1, n2, 0.8, 0.8) <= w.ExecTime(1, n1, 0.8, 0.8)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMIPSConsistency(t *testing.T) {
+	w := DefaultProfile()
+	ps := 2.0
+	tt := w.ExecTime(ps, 32, 1, 1)
+	mips := w.MIPS(ps, tt)
+	if mips <= 0 {
+		t.Fatal("non-positive MIPS")
+	}
+	// MIPS * time == total ops.
+	if got := mips * 1e6 * tt; math.Abs(got-ps*w.OpsPerUnit) > 1e-3*ps*w.OpsPerUnit {
+		t.Errorf("MIPS inconsistent: %g ops, want %g", got, ps*w.OpsPerUnit)
+	}
+	if w.MIPS(1, 0) != 0 {
+		t.Error("zero-time MIPS should be 0")
+	}
+}
+
+func TestCyclesPerTask(t *testing.T) {
+	w := DefaultProfile()
+	e1 := w.CyclesPerTask(1, 64, 0.5)
+	e2 := w.CyclesPerTask(2, 64, 0.5)
+	if math.Abs(e2/e1-2) > 1e-9 {
+		t.Error("cycles per task should scale with problem size")
+	}
+	e3 := w.CyclesPerTask(1, 128, 0.5)
+	if math.Abs(e1/e3-2) > 1e-9 {
+		t.Error("cycles per task should shrink with more tasks")
+	}
+	if w.CyclesPerTask(1, 0, 0.5) != 0 {
+		t.Error("zero tasks should yield zero cycles")
+	}
+}
+
+func TestTorusHops(t *testing.T) {
+	tor := DefaultTorus()
+	if tor.Hops(0, 0) != 0 {
+		t.Error("self distance nonzero")
+	}
+	if tor.Hops(0, 1) != 1 {
+		t.Error("adjacent distance != 1")
+	}
+	// Wraparound: cluster 0 (0,0) to cluster 5 (5,0) is 1 hop on a
+	// 6-wide torus.
+	if tor.Hops(0, 5) != 1 {
+		t.Errorf("wraparound hop = %d, want 1", tor.Hops(0, 5))
+	}
+	// Maximal distance on a 6x6 torus is 3+3.
+	if tor.Hops(0, 21) != 6 { // (0,0) -> (3,3)
+		t.Errorf("diagonal hops = %d, want 6", tor.Hops(0, 21))
+	}
+	// Symmetry property.
+	for a := 0; a < 36; a++ {
+		for b := 0; b < 36; b++ {
+			if tor.Hops(a, b) != tor.Hops(b, a) {
+				t.Fatalf("asymmetric hops between %d and %d", a, b)
+			}
+		}
+	}
+}
+
+func TestTorusLatency(t *testing.T) {
+	tor := DefaultTorus()
+	if tor.LatencyNs(3, 3) != tor.BusNs {
+		t.Error("intra-cluster latency should be the bus latency")
+	}
+	if tor.LatencyNs(0, 21) <= tor.LatencyNs(0, 1) {
+		t.Error("farther clusters should cost more")
+	}
+	m := tor.MeanLatencyNs()
+	if m <= tor.BusNs || m > 40 {
+		t.Errorf("mean network latency %.1f ns implausible", m)
+	}
+}
+
+func TestQueueingFactor(t *testing.T) {
+	if QueueingFactor(0) != 1 {
+		t.Error("idle network must add no delay")
+	}
+	if QueueingFactor(0.5) != 1.5 {
+		t.Errorf("M/D/1 at 0.5 = %g, want 1.5", QueueingFactor(0.5))
+	}
+	if QueueingFactor(-1) != 1 {
+		t.Error("negative utilization should clamp")
+	}
+	if f := QueueingFactor(2); f > 11 {
+		t.Errorf("saturation clamp failed: %g", f)
+	}
+	prev := 0.0
+	for u := 0.0; u < 0.95; u += 0.05 {
+		f := QueueingFactor(u)
+		if f <= prev {
+			t.Fatal("queueing factor not increasing")
+		}
+		prev = f
+	}
+}
+
+// Table 2 quotes the memory round trip "without contention"; with the
+// RMS suite's sparse miss rates even full 288-core engagement keeps the
+// torus nearly idle, validating that simplification.
+func TestContentionNegligibleForRMSMissRates(t *testing.T) {
+	tor := DefaultTorus()
+	u := tor.Utilization(288, 0.6, 0.0016)
+	if u > 0.05 {
+		t.Errorf("full engagement utilization %.3f; the uncontended 80 ns assumption would be invalid", u)
+	}
+	inflated := tor.LoadedMemLatencyNs(80, u)
+	if inflated > 84 {
+		t.Errorf("contention adds %.1f ns; expected ~negligible", inflated-80)
+	}
+	// A hypothetical miss-heavy workload would saturate it, so the
+	// model is not vacuous.
+	if heavy := tor.Utilization(288, 0.6, 0.05); heavy < 0.2 {
+		t.Errorf("heavy workload utilization %.3f suspiciously low", heavy)
+	}
+}

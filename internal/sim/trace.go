@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// AccessKind is the shape of a synthetic memory reference stream.
+type AccessKind int
+
+// Access stream shapes.
+const (
+	// Streaming walks the working set sequentially with a fixed stride
+	// (hotspot, srad, x264: stencil and block kernels).
+	Streaming AccessKind = iota
+	// Strided walks with a large stride that defeats spatial locality
+	// (column-major passes).
+	Strided
+	// RandomUniform touches uniformly random lines of the working set
+	// (ferret's database probes, bodytrack's particle scatter).
+	RandomUniform
+	// PointerChase follows a fixed random permutation cycle through the
+	// working set (canneal's netlist walking) — no spatial locality,
+	// full temporal reuse at working-set scale.
+	PointerChase
+)
+
+// String names the kind.
+func (k AccessKind) String() string {
+	switch k {
+	case Streaming:
+		return "streaming"
+	case Strided:
+		return "strided"
+	case RandomUniform:
+		return "random"
+	case PointerChase:
+		return "pointer-chase"
+	}
+	return fmt.Sprintf("AccessKind(%d)", int(k))
+}
+
+// TraceSpec characterizes one kernel's dynamic instruction mix for the
+// trace-driven core model.
+type TraceSpec struct {
+	Kind            AccessKind
+	WorkingSetBytes int     // bytes the characteristic stream cycles through
+	MemFrac         float64 // fraction of instructions that reference memory
+	StrideBytes     int     // for Streaming/Strided
+	// HotFrac of the memory references go to a small hot region
+	// (locals, stack, loop state) that lives in the private memory;
+	// the remainder follow the characteristic pattern.
+	HotFrac  float64
+	HotBytes int
+	Seed     int64
+}
+
+// Validate reports the first invalid field, or nil.
+func (t TraceSpec) Validate() error {
+	switch {
+	case t.WorkingSetBytes <= 0:
+		return fmt.Errorf("sim: working set must be positive")
+	case t.MemFrac < 0 || t.MemFrac > 1:
+		return fmt.Errorf("sim: memory fraction %.3f outside [0,1]", t.MemFrac)
+	case t.HotFrac < 0 || t.HotFrac > 1:
+		return fmt.Errorf("sim: hot fraction %.3f outside [0,1]", t.HotFrac)
+	case t.HotFrac > 0 && t.HotBytes <= 0:
+		return fmt.Errorf("sim: hot region needs a positive size")
+	case (t.Kind == Streaming || t.Kind == Strided) && t.StrideBytes <= 0:
+		return fmt.Errorf("sim: streaming/strided traces need a positive stride")
+	}
+	return nil
+}
+
+// Trace generates the reference stream lazily and deterministically.
+type Trace struct {
+	spec TraceSpec
+	rng  *mathx.RNG
+	pos  uint64
+	perm []uint64 // pointer-chase successor table, lazily built
+}
+
+// NewTrace builds a generator for the spec.
+func NewTrace(spec TraceSpec) (*Trace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Trace{spec: spec, rng: mathx.NewRNG(spec.Seed)}
+	if spec.Kind == PointerChase {
+		// One 64-byte node per line of the working set, linked in a
+		// random Hamiltonian cycle.
+		n := spec.WorkingSetBytes / 64
+		if n < 2 {
+			n = 2
+		}
+		order := t.rng.Perm(n)
+		t.perm = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			t.perm[order[i]] = uint64(order[(i+1)%n])
+		}
+	}
+	return t, nil
+}
+
+// hotBase places the hot region far above any working set.
+const hotBase = uint64(1) << 40
+
+// Next returns the next referenced address.
+func (t *Trace) Next() uint64 {
+	if t.spec.HotFrac > 0 && t.rng.Float64() < t.spec.HotFrac {
+		return hotBase + uint64(t.rng.Intn(t.spec.HotBytes))
+	}
+	ws := uint64(t.spec.WorkingSetBytes)
+	switch t.spec.Kind {
+	case Streaming, Strided:
+		addr := t.pos
+		t.pos = (t.pos + uint64(t.spec.StrideBytes)) % ws
+		return addr
+	case RandomUniform:
+		return uint64(t.rng.Int63()) % ws
+	case PointerChase:
+		addr := t.pos * 64
+		t.pos = t.perm[t.pos]
+		return addr
+	}
+	return 0
+}
+
+// MemoryHierarchy bundles Table 2's two cache levels plus the flat
+// memory behind them.
+type MemoryHierarchy struct {
+	L1 *Cache
+	L2 *Cache
+	// MemLatencyNs is the average round trip to memory behind the
+	// cluster cache (Table 2: ~80 ns).
+	MemLatencyNs float64
+}
+
+// NewMemoryHierarchy builds the Table 2 hierarchy.
+func NewMemoryHierarchy() (*MemoryHierarchy, error) {
+	l1, err := NewCache(CorePrivateCache())
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache(ClusterCache())
+	if err != nil {
+		return nil, err
+	}
+	return &MemoryHierarchy{L1: l1, L2: l2, MemLatencyNs: 80}, nil
+}
+
+// AccessNs performs one reference and returns its latency in ns.
+func (m *MemoryHierarchy) AccessNs(addr uint64) float64 {
+	if m.L1.Access(addr) {
+		return m.L1.Config().LatencyNs
+	}
+	if m.L2.Access(addr) {
+		return m.L1.Config().LatencyNs + m.L2.Config().LatencyNs
+	}
+	return m.L1.Config().LatencyNs + m.L2.Config().LatencyNs + m.MemLatencyNs
+}
+
+// CoreSimResult summarizes a trace-driven core simulation.
+type CoreSimResult struct {
+	Instructions int64
+	MemRefs      int64
+	CPI          float64
+	L1           CacheStats
+	L2           CacheStats
+	// MissPerOp is the per-instruction rate of references that left the
+	// private memory — the quantity the analytic WorkProfile.MissPerOp
+	// abstracts.
+	MissPerOp float64
+}
+
+// SimulateCore runs `instructions` dynamic instructions of the spec's
+// mix through a single-issue in-order core at frequency fGHz over the
+// Table 2 memory hierarchy and returns the achieved CPI. Non-memory
+// instructions take one cycle; memory references additionally stall for
+// their hierarchy latency beyond the pipelined L1 hit.
+func SimulateCore(spec TraceSpec, instructions int64, fGHz float64) (CoreSimResult, error) {
+	if instructions <= 0 || fGHz <= 0 {
+		return CoreSimResult{}, fmt.Errorf("sim: need positive instruction count and frequency")
+	}
+	trace, err := NewTrace(spec)
+	if err != nil {
+		return CoreSimResult{}, err
+	}
+	mem, err := NewMemoryHierarchy()
+	if err != nil {
+		return CoreSimResult{}, err
+	}
+	rng := mathx.NewRNG(mathx.SplitSeed(spec.Seed, 0x51))
+	// Warm the hierarchy so compulsory misses of the first pass do not
+	// skew the steady-state CPI (ESESC's sampling warms up similarly).
+	warm := instructions / 4
+	for i := int64(0); i < warm; i++ {
+		if rng.Float64() < spec.MemFrac {
+			mem.AccessNs(trace.Next())
+		}
+	}
+	mem.L1.ResetStats()
+	mem.L2.ResetStats()
+	cycles := 0.0
+	var memRefs int64
+	for i := int64(0); i < instructions; i++ {
+		cycles++
+		if rng.Float64() < spec.MemFrac {
+			memRefs++
+			ns := mem.AccessNs(trace.Next())
+			// The pipelined L1 hit overlaps with execution; anything
+			// slower stalls the in-order core.
+			stall := ns - mem.L1.Config().LatencyNs
+			if stall > 0 {
+				cycles += stall * fGHz
+			}
+		}
+	}
+	l1 := mem.L1.Stats()
+	return CoreSimResult{
+		Instructions: instructions,
+		MemRefs:      memRefs,
+		CPI:          cycles / float64(instructions),
+		L1:           l1,
+		L2:           mem.L2.Stats(),
+		MissPerOp:    float64(l1.Misses) / float64(instructions),
+	}, nil
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestTraceSpecValidation(t *testing.T) {
+	bad := []TraceSpec{
+		{Kind: Streaming, WorkingSetBytes: 0, StrideBytes: 64},
+		{Kind: Streaming, WorkingSetBytes: 1024, MemFrac: 2, StrideBytes: 64},
+		{Kind: Streaming, WorkingSetBytes: 1024, MemFrac: 0.1},
+		{Kind: Strided, WorkingSetBytes: 1024, MemFrac: 0.1},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if AccessKind(9).String() == "" || Streaming.String() != "streaming" ||
+		PointerChase.String() != "pointer-chase" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	spec := TraceSpec{Kind: RandomUniform, WorkingSetBytes: 1 << 20, MemFrac: 0.2, Seed: 7}
+	t1, err := NewTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := NewTrace(spec)
+	for i := 0; i < 1000; i++ {
+		if t1.Next() != t2.Next() {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestPointerChaseCoversWorkingSet(t *testing.T) {
+	spec := TraceSpec{Kind: PointerChase, WorkingSetBytes: 64 * 256, MemFrac: 0.3, Seed: 3}
+	tr, err := NewTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 256; i++ {
+		seen[tr.Next()] = true
+	}
+	// A Hamiltonian cycle touches every node exactly once per lap.
+	if len(seen) != 256 {
+		t.Errorf("chase visited %d of 256 nodes in one lap", len(seen))
+	}
+}
+
+func TestStreamingStaysInWorkingSet(t *testing.T) {
+	spec := TraceSpec{Kind: Streaming, WorkingSetBytes: 4096, MemFrac: 0.3, StrideBytes: 64, Seed: 1}
+	tr, err := NewTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if a := tr.Next(); a >= 4096 {
+			t.Fatalf("address %d outside working set", a)
+		}
+	}
+}
+
+// The microarchitectural ground truth behind WorkProfile: small working
+// sets ride the private memory; huge pointer chases pay the full
+// hierarchy; CPI grows with frequency because memory nanoseconds cost
+// more cycles — the effect sim.WorkProfile.IPC abstracts.
+func TestSimulateCoreRegimes(t *testing.T) {
+	const n = 200000
+	small := TraceSpec{Kind: Streaming, WorkingSetBytes: 32 * 1024, MemFrac: 0.3, StrideBytes: 8, Seed: 1}
+	big := TraceSpec{Kind: PointerChase, WorkingSetBytes: 16 << 20, MemFrac: 0.3, Seed: 1}
+
+	rSmall, err := SimulateCore(small, n, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBig, err := SimulateCore(big, n, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSmall.L1.MissRate() > 0.02 {
+		t.Errorf("cache-resident stream misses %.3f of accesses", rSmall.L1.MissRate())
+	}
+	if rBig.L1.MissRate() < 0.9 {
+		t.Errorf("16 MB pointer chase hits too often: miss rate %.3f", rBig.L1.MissRate())
+	}
+	if rBig.CPI < 5*rSmall.CPI {
+		t.Errorf("memory-bound CPI %.2f not far above compute-bound %.2f", rBig.CPI, rSmall.CPI)
+	}
+	// Frequency scaling: the same trace at a higher f stalls for more
+	// cycles per miss.
+	rBigFast, err := SimulateCore(big, n, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBigFast.CPI <= rBig.CPI {
+		t.Error("CPI did not grow with frequency for memory-bound work")
+	}
+	// Compute-bound work is frequency-insensitive in CPI.
+	rSmallFast, err := SimulateCore(small, n, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSmallFast.CPI > rSmall.CPI*1.3 {
+		t.Errorf("cache-resident CPI grew from %.2f to %.2f with f", rSmall.CPI, rSmallFast.CPI)
+	}
+}
+
+// The analytic WorkProfile numbers used by the solver must be of the
+// magnitude the trace-driven model produces for RMS-like mixes: sparse
+// long-latency misses per instruction (1e-4..1e-2).
+func TestWorkProfilesConsistentWithTraceSim(t *testing.T) {
+	res, err := SimulateCore(TraceSpec{
+		Kind: RandomUniform, WorkingSetBytes: 8 << 20, MemFrac: 0.01, Seed: 2,
+	}, 400000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissPerOp < 1e-4 || res.MissPerOp > 2e-2 {
+		t.Errorf("trace-sim MissPerOp %.2e outside the band the WorkProfiles assume", res.MissPerOp)
+	}
+	// Effective IPC from the analytic model at this miss rate should
+	// agree with the trace simulation within a factor of two.
+	w := WorkProfile{OpsPerUnit: 1, CPIBase: 1, MissPerOp: res.MissPerOp, MemLatencyNs: 80}
+	analytic := 1 / w.IPC(1.0)
+	if res.CPI < 0.5*analytic || res.CPI > 2*analytic {
+		t.Errorf("trace CPI %.2f vs analytic %.2f diverge beyond 2x", res.CPI, analytic)
+	}
+}
+
+func TestSimulateCoreValidation(t *testing.T) {
+	spec := TraceSpec{Kind: Streaming, WorkingSetBytes: 1024, MemFrac: 0.1, StrideBytes: 64}
+	if _, err := SimulateCore(spec, 0, 1); err == nil {
+		t.Error("zero instructions accepted")
+	}
+	if _, err := SimulateCore(spec, 100, 0); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := SimulateCore(TraceSpec{Kind: Streaming, WorkingSetBytes: -1}, 100, 1); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

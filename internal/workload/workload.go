@@ -1,0 +1,296 @@
+// Package workload generates the deterministic synthetic inputs that
+// stand in for the PARSEC simsmall and Rodinia input sets: netlists for
+// canneal, floorplan power maps for hotspot, speckled images for srad,
+// video frame sequences for x264, image-feature databases for ferret,
+// and observed pose trajectories for bodytrack.
+//
+// Each generator is a pure function of its parameters and seed, so
+// every experiment in the repository is reproducible bit-for-bit.
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Netlist is a synthetic chip netlist for canneal: elements to place on
+// a grid and multi-pin nets connecting them. Net cost is the half-
+// perimeter wirelength (HPWL) of each net's bounding box, the standard
+// placement objective the original canneal minimizes.
+type Netlist struct {
+	Elements int
+	GridW    int
+	GridH    int
+	Nets     [][]int // element indices on each net (2-5 pins)
+}
+
+// NewNetlist builds a netlist of n elements on a w x h grid with
+// netsPerElem nets seeded per element. Nets carry two to five pins and
+// their membership is biased toward locality (as real netlists are) so
+// that annealing has structure to exploit.
+func NewNetlist(n, w, h, netsPerElem int, seed int64) (*Netlist, error) {
+	if n <= 0 || w <= 0 || h <= 0 || netsPerElem <= 0 {
+		return nil, fmt.Errorf("workload: netlist parameters must be positive")
+	}
+	if n > w*h {
+		return nil, fmt.Errorf("workload: %d elements exceed %dx%d grid", n, w, h)
+	}
+	rng := mathx.NewRNG(seed)
+	nl := &Netlist{Elements: n, GridW: w, GridH: h}
+	pick := func(e int) int {
+		// Mix local and global pins 3:1.
+		var other int
+		if rng.Float64() < 0.75 {
+			other = e + rng.Intn(32) - 16
+			if other < 0 || other >= n || other == e {
+				other = rng.Intn(n)
+			}
+		} else {
+			other = rng.Intn(n)
+		}
+		if other == e {
+			other = (e + 1) % n
+		}
+		return other
+	}
+	for e := 0; e < n; e++ {
+		for k := 0; k < netsPerElem; k++ {
+			pins := []int{e}
+			seen := map[int]bool{e: true}
+			extra := 1 + rng.Intn(4) // 2-5 pins total
+			for len(pins) < 1+extra {
+				o := pick(e)
+				if !seen[o] {
+					seen[o] = true
+					pins = append(pins, o)
+				}
+			}
+			nl.Nets = append(nl.Nets, pins)
+		}
+	}
+	return nl, nil
+}
+
+// PowerMap builds a hotspot floorplan power-density map on a w x h grid
+// with a handful of hot blocks over a cool background, in W per cell.
+func PowerMap(w, h int, seed int64) *mathx.Grid2D {
+	rng := mathx.NewRNG(seed)
+	g := mathx.NewGrid2D(w, h)
+	g.Fill(0.1)
+	blocks := 4 + rng.Intn(4)
+	for b := 0; b < blocks; b++ {
+		bw, bh := 2+rng.Intn(w/4), 2+rng.Intn(h/4)
+		x0, y0 := rng.Intn(w-bw), rng.Intn(h-bh)
+		p := rng.Uniform(0.5, 2.0)
+		for y := y0; y < y0+bh; y++ {
+			for x := x0; x < x0+bw; x++ {
+				g.Set(x, y, g.At(x, y)+p)
+			}
+		}
+	}
+	return g
+}
+
+// CleanImage renders a smooth deterministic test image in [0, 255] with
+// edges and gradients for the denoising benchmarks.
+func CleanImage(w, h int, seed int64) *mathx.Grid2D {
+	rng := mathx.NewRNG(seed)
+	phase := rng.Uniform(0, math.Pi)
+	g := mathx.NewGrid2D(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fx, fy := float64(x)/float64(w), float64(y)/float64(h)
+			v := 120 + 60*math.Sin(6*fx+phase) + 40*math.Cos(5*fy)
+			// A bright square patch provides hard edges.
+			if fx > 0.3 && fx < 0.6 && fy > 0.3 && fy < 0.6 {
+				v += 50
+			}
+			g.Set(x, y, mathx.Clamp(v, 0, 255))
+		}
+	}
+	return g
+}
+
+// SpeckleImage returns a clean image and its speckle-corrupted version
+// (multiplicative exponential noise, the degradation SRAD removes from
+// ultrasound/radar imagery).
+func SpeckleImage(w, h int, noiseSigma float64, seed int64) (clean, noisy *mathx.Grid2D) {
+	clean = CleanImage(w, h, seed)
+	rng := mathx.NewRNG(mathx.SplitSeed(seed, 1))
+	noisy = mathx.NewGrid2D(w, h)
+	for i, v := range clean.V {
+		noisy.V[i] = mathx.Clamp(v*math.Exp(rng.Normal(0, noiseSigma)), 0, 255)
+	}
+	return clean, noisy
+}
+
+// VideoFrames renders a deterministic sequence of w x h frames with
+// translating and oscillating content for the x264 kernel.
+func VideoFrames(w, h, frames int, seed int64) []*mathx.Grid2D {
+	rng := mathx.NewRNG(seed)
+	vx, vy := rng.Uniform(0.5, 2), rng.Uniform(0.3, 1.5)
+	out := make([]*mathx.Grid2D, frames)
+	for t := 0; t < frames; t++ {
+		g := mathx.NewGrid2D(w, h)
+		ox, oy := vx*float64(t), vy*float64(t)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fx, fy := float64(x)+ox, float64(y)+oy
+				v := 128 + 70*math.Sin(fx/5)*math.Cos(fy/7)
+				v += 30 * math.Sin(float64(t)/3)
+				g.Set(x, y, mathx.Clamp(v, 0, 255))
+			}
+		}
+		out[t] = g
+	}
+	return out
+}
+
+// FeatureDB is a synthetic content-based image-search database for
+// ferret: every image belongs to a latent class and is described by
+// per-region feature vectors scattered around its class centroid.
+type FeatureDB struct {
+	Classes int
+	Dims    int
+	// Images[i] is image i's full-resolution feature set; Class[i] its
+	// latent class.
+	Images [][][]float64
+	Class  []int
+	// Queries are probe images with known classes.
+	Queries      [][][]float64
+	QueryClass   []int
+	RegionsFull  int
+	featureNoise float64
+}
+
+// NewFeatureDB builds a database of classes*perClass images with
+// regionsFull regions of dims-dimensional features each, plus queries
+// probe images.
+func NewFeatureDB(classes, perClass, queries, regionsFull, dims int, seed int64) (*FeatureDB, error) {
+	if classes <= 0 || perClass <= 0 || queries <= 0 || regionsFull <= 0 || dims <= 0 {
+		return nil, fmt.Errorf("workload: feature DB parameters must be positive")
+	}
+	rng := mathx.NewRNG(seed)
+	centroids := make([][]float64, classes)
+	for c := range centroids {
+		centroids[c] = make([]float64, dims)
+		for d := range centroids[c] {
+			centroids[c][d] = rng.Normal(0, 1)
+		}
+	}
+	db := &FeatureDB{Classes: classes, Dims: dims, RegionsFull: regionsFull, featureNoise: 1.1}
+	makeImage := func(class int) [][]float64 {
+		regions := make([][]float64, regionsFull)
+		for r := range regions {
+			f := make([]float64, dims)
+			for d := range f {
+				f[d] = centroids[class][d] + rng.Normal(0, db.featureNoise)
+			}
+			regions[r] = f
+		}
+		return regions
+	}
+	for c := 0; c < classes; c++ {
+		for i := 0; i < perClass; i++ {
+			db.Images = append(db.Images, makeImage(c))
+			db.Class = append(db.Class, c)
+		}
+	}
+	for q := 0; q < queries; q++ {
+		c := rng.Intn(classes)
+		db.Queries = append(db.Queries, makeImage(c))
+		db.QueryClass = append(db.QueryClass, c)
+	}
+	return db, nil
+}
+
+// Coarsen merges an image's regions down to at most k coarse regions by
+// averaging consecutive groups, modeling segmentation at a larger
+// minimum region size (ferret's size-factor knob).
+func Coarsen(regions [][]float64, k int) [][]float64 {
+	if k >= len(regions) {
+		return regions
+	}
+	if k < 1 {
+		k = 1
+	}
+	dims := len(regions[0])
+	out := make([][]float64, k)
+	n := len(regions)
+	for g := 0; g < k; g++ {
+		lo, hi := g*n/k, (g+1)*n/k
+		f := make([]float64, dims)
+		for r := lo; r < hi; r++ {
+			for d := 0; d < dims; d++ {
+				f[d] += regions[r][d]
+			}
+		}
+		for d := range f {
+			f[d] /= float64(hi - lo)
+		}
+		out[g] = f
+	}
+	return out
+}
+
+// PoseTrajectory is bodytrack's synthetic scene: the true articulated-
+// body configuration over time plus noisy observations of it.
+type PoseTrajectory struct {
+	Frames int
+	Joints int
+	True   [][]float64 // Frames x Joints ground-truth angles
+	Obs    [][]float64 // Frames x Joints noisy measurements
+	Noise  float64     // observation noise sigma
+}
+
+// NewPoseTrajectory synthesizes a smooth joint-angle trajectory with
+// observation noise sigma.
+func NewPoseTrajectory(frames, joints int, sigma float64, seed int64) (*PoseTrajectory, error) {
+	if frames <= 0 || joints <= 0 || sigma < 0 {
+		return nil, fmt.Errorf("workload: trajectory parameters invalid")
+	}
+	rng := mathx.NewRNG(seed)
+	tr := &PoseTrajectory{Frames: frames, Joints: joints, Noise: sigma}
+	freqs := make([]float64, joints)
+	phases := make([]float64, joints)
+	for j := range freqs {
+		freqs[j] = rng.Uniform(0.05, 0.2)
+		phases[j] = rng.Uniform(0, 2*math.Pi)
+	}
+	for t := 0; t < frames; t++ {
+		truth := make([]float64, joints)
+		obs := make([]float64, joints)
+		for j := 0; j < joints; j++ {
+			truth[j] = math.Sin(freqs[j]*float64(t) + phases[j])
+			obs[j] = truth[j] + rng.Normal(0, sigma)
+		}
+		tr.True = append(tr.True, truth)
+		tr.Obs = append(tr.Obs, obs)
+	}
+	return tr, nil
+}
+
+// WritePGM serializes a grid as a binary 8-bit PGM image, linearly
+// mapping [lo, hi] to [0, 255]; values outside clamp. It gives the
+// variation fields, power maps and kernel images a form any image
+// viewer opens.
+func WritePGM(w io.Writer, g *mathx.Grid2D, lo, hi float64) error {
+	if g == nil || g.W <= 0 || g.H <= 0 {
+		return fmt.Errorf("workload: empty grid")
+	}
+	if hi <= lo {
+		return fmt.Errorf("workload: bad PGM range [%g, %g]", lo, hi)
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return err
+	}
+	buf := make([]byte, g.W*g.H)
+	for i, v := range g.V {
+		buf[i] = byte(mathx.Clamp((v-lo)/(hi-lo)*255, 0, 255))
+	}
+	_, err := w.Write(buf)
+	return err
+}

@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestNetlistShape(t *testing.T) {
+	nl, err := NewNetlist(200, 20, 20, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Nets) != 600 {
+		t.Errorf("got %d nets", len(nl.Nets))
+	}
+	for _, net := range nl.Nets {
+		if len(net) < 2 || len(net) > 5 {
+			t.Fatalf("net has %d pins, want 2-5", len(net))
+		}
+		seen := map[int]bool{}
+		for _, e := range net {
+			if e < 0 || e >= 200 {
+				t.Fatalf("net pin %d out of range", e)
+			}
+			if seen[e] {
+				t.Fatal("duplicate pin on a net")
+			}
+			seen[e] = true
+		}
+	}
+}
+
+func TestNetlistValidation(t *testing.T) {
+	if _, err := NewNetlist(0, 10, 10, 2, 1); err == nil {
+		t.Error("zero elements accepted")
+	}
+	if _, err := NewNetlist(200, 10, 10, 2, 1); err == nil {
+		t.Error("overfull grid accepted")
+	}
+}
+
+func TestNetlistDeterminism(t *testing.T) {
+	a, _ := NewNetlist(100, 15, 15, 2, 9)
+	b, _ := NewNetlist(100, 15, 15, 2, 9)
+	for i := range a.Nets {
+		if len(a.Nets[i]) != len(b.Nets[i]) {
+			t.Fatal("netlist not deterministic")
+		}
+		for j := range a.Nets[i] {
+			if a.Nets[i][j] != b.Nets[i][j] {
+				t.Fatal("netlist not deterministic")
+			}
+		}
+	}
+}
+
+func TestPowerMap(t *testing.T) {
+	g := PowerMap(32, 32, 3)
+	min, max := mathx.MinMax(g.V)
+	if min < 0.05 {
+		t.Errorf("background power %g too low", min)
+	}
+	if max <= min {
+		t.Error("no hot blocks generated")
+	}
+	if max > 20 {
+		t.Errorf("hot block power %g implausible", max)
+	}
+}
+
+func TestCleanImageRange(t *testing.T) {
+	g := CleanImage(64, 64, 4)
+	min, max := mathx.MinMax(g.V)
+	if min < 0 || max > 255 {
+		t.Errorf("image out of [0,255]: [%g, %g]", min, max)
+	}
+	if max-min < 50 {
+		t.Error("image has too little contrast")
+	}
+}
+
+func TestSpeckleImage(t *testing.T) {
+	clean, noisy := SpeckleImage(64, 64, 0.3, 5)
+	diff := 0.0
+	for i := range clean.V {
+		diff += math.Abs(clean.V[i] - noisy.V[i])
+	}
+	diff /= float64(len(clean.V))
+	if diff < 5 {
+		t.Errorf("speckle too weak: mean |diff| = %g", diff)
+	}
+	if diff > 120 {
+		t.Errorf("speckle destroyed the image: mean |diff| = %g", diff)
+	}
+}
+
+func TestVideoFramesMove(t *testing.T) {
+	frames := VideoFrames(32, 32, 8, 6)
+	if len(frames) != 8 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	// Consecutive frames must differ (motion) but not be noise.
+	d01 := 0.0
+	for i := range frames[0].V {
+		d01 += math.Abs(frames[0].V[i] - frames[1].V[i])
+	}
+	d01 /= float64(len(frames[0].V))
+	if d01 < 1 || d01 > 100 {
+		t.Errorf("inter-frame difference %g implausible", d01)
+	}
+}
+
+func TestFeatureDBStructure(t *testing.T) {
+	db, err := NewFeatureDB(4, 10, 8, 16, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Images) != 40 || len(db.Class) != 40 {
+		t.Fatalf("got %d images", len(db.Images))
+	}
+	if len(db.Queries) != 8 {
+		t.Fatalf("got %d queries", len(db.Queries))
+	}
+	for _, img := range db.Images {
+		if len(img) != 16 {
+			t.Fatal("wrong region count")
+		}
+		for _, f := range img {
+			if len(f) != 8 {
+				t.Fatal("wrong feature dims")
+			}
+		}
+	}
+	// Same-class images must be closer than cross-class on average.
+	dist := func(a, b [][]float64) float64 {
+		s := 0.0
+		for r := range a {
+			for d := range a[r] {
+				diff := a[r][d] - b[r][d]
+				s += diff * diff
+			}
+		}
+		return s
+	}
+	var same, cross, nSame, nCross float64
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			d := dist(db.Images[i], db.Images[j])
+			if db.Class[i] == db.Class[j] {
+				same += d
+				nSame++
+			} else {
+				cross += d
+				nCross++
+			}
+		}
+	}
+	if same/nSame >= cross/nCross {
+		t.Error("class structure missing: same-class images not closer")
+	}
+}
+
+func TestFeatureDBValidation(t *testing.T) {
+	if _, err := NewFeatureDB(0, 1, 1, 1, 1, 1); err == nil {
+		t.Error("zero classes accepted")
+	}
+}
+
+func TestCoarsen(t *testing.T) {
+	regions := [][]float64{{0}, {2}, {4}, {6}}
+	c := Coarsen(regions, 2)
+	if len(c) != 2 {
+		t.Fatalf("got %d coarse regions", len(c))
+	}
+	if c[0][0] != 1 || c[1][0] != 5 {
+		t.Errorf("coarse features %v", c)
+	}
+	// k >= len passes through unchanged.
+	if got := Coarsen(regions, 10); len(got) != 4 {
+		t.Error("over-coarsening changed region count")
+	}
+	if got := Coarsen(regions, 0); len(got) != 1 {
+		t.Error("k<1 should clamp to 1 region")
+	}
+}
+
+func TestPoseTrajectory(t *testing.T) {
+	tr, err := NewPoseTrajectory(50, 6, 0.2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.True) != 50 || len(tr.Obs) != 50 {
+		t.Fatal("wrong frame count")
+	}
+	// Truth must be smooth: consecutive frames close.
+	for t2 := 1; t2 < 50; t2++ {
+		for j := 0; j < 6; j++ {
+			if math.Abs(tr.True[t2][j]-tr.True[t2-1][j]) > 0.3 {
+				t.Fatalf("trajectory jumps at frame %d", t2)
+			}
+		}
+	}
+	// Observations must be noisy but correlated with truth.
+	var to, tt []float64
+	for t2 := 0; t2 < 50; t2++ {
+		to = append(to, tr.Obs[t2][0])
+		tt = append(tt, tr.True[t2][0])
+	}
+	if r := mathx.Pearson(to, tt); r < 0.8 {
+		t.Errorf("observations decorrelated from truth: r=%.2f", r)
+	}
+	if _, err := NewPoseTrajectory(0, 6, 0.1, 1); err == nil {
+		t.Error("zero frames accepted")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	g := mathx.NewGrid2D(4, 2)
+	for i := range g.V {
+		g.V[i] = float64(i)
+	}
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, g, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n4 2\n255\n")) {
+		t.Fatalf("bad header: %q", out[:12])
+	}
+	pix := out[len(out)-8:]
+	if pix[0] != 0 || pix[7] != 255 {
+		t.Errorf("range mapping wrong: %v", pix)
+	}
+	// Monotone pixel values for monotone input.
+	for i := 1; i < 8; i++ {
+		if pix[i] < pix[i-1] {
+			t.Fatal("pixels not monotone")
+		}
+	}
+	if err := WritePGM(&buf, nil, 0, 1); err == nil {
+		t.Error("nil grid accepted")
+	}
+	if err := WritePGM(&buf, g, 1, 1); err == nil {
+		t.Error("degenerate range accepted")
+	}
+}

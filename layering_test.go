@@ -1,0 +1,117 @@
+package repro_test
+
+import (
+	"go/build"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The README promises strict layering; this test makes the promise an
+// invariant. Each internal package may import only the internal
+// packages listed here (stdlib is always allowed).
+var allowedDeps = map[string][]string{
+	"mathx":         {},
+	"tech":          {"mathx"},
+	"variation":     {"mathx"},
+	"chip":          {"mathx", "tech", "variation"},
+	"power":         {"chip"},
+	"sim":           {"mathx"},
+	"quality":       {},
+	"fault":         {"mathx"},
+	"workload":      {"mathx"},
+	"rms":           {"fault", "sim"},
+	"rms/canneal":   {"fault", "mathx", "rms", "sim", "workload"},
+	"rms/ferret":    {"fault", "rms", "sim", "workload"},
+	"rms/bodytrack": {"fault", "mathx", "quality", "rms", "sim", "workload"},
+	"rms/xh264":     {"fault", "mathx", "quality", "rms", "sim", "workload"},
+	"rms/hotspot":   {"fault", "mathx", "quality", "rms", "sim", "workload"},
+	"rms/srad":      {"fault", "mathx", "quality", "rms", "sim", "workload"},
+	"rms/btcmine":   {"fault", "rms", "sim"},
+	"rms/rmstest":   {"fault", "rms", "sim"},
+	"core":          {"chip", "fault", "mathx", "power", "rms", "sim", "tech"},
+	"baseline":      {"chip", "power"},
+	"experiments": {"baseline", "chip", "core", "fault", "mathx", "power",
+		"rms", "rms/bodytrack", "rms/btcmine", "rms/canneal", "rms/ferret",
+		"rms/hotspot", "rms/srad", "rms/xh264", "sim", "tech"},
+}
+
+func TestInternalLayering(t *testing.T) {
+	const prefix = "repro/internal/"
+	root := filepath.Join(".", "internal")
+	var pkgs []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			entries, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				if strings.HasSuffix(e.Name(), ".go") {
+					rel, err := filepath.Rel(root, path)
+					if err != nil {
+						return err
+					}
+					pkgs = append(pkgs, filepath.ToSlash(rel))
+					break
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("found only %d internal packages", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		allowed, ok := allowedDeps[pkg]
+		if !ok {
+			t.Errorf("package internal/%s missing from the layering matrix", pkg)
+			continue
+		}
+		allowedSet := map[string]bool{}
+		for _, a := range allowed {
+			allowedSet[a] = true
+		}
+		bp, err := build.ImportDir(filepath.Join(root, pkg), 0)
+		if err != nil {
+			t.Errorf("internal/%s: %v", pkg, err)
+			continue
+		}
+		// Non-test imports only: tests may reach sideways (e.g. solver
+		// tests import kernels).
+		for _, imp := range bp.Imports {
+			if !strings.HasPrefix(imp, prefix) {
+				continue // stdlib
+			}
+			dep := strings.TrimPrefix(imp, prefix)
+			if !allowedSet[dep] {
+				t.Errorf("internal/%s imports internal/%s, which the layering forbids", pkg, dep)
+			}
+		}
+	}
+}
+
+// Substrate purity: the numeric substrate and the device models must
+// never know about chips, benchmarks, or the framework.
+func TestSubstratesStayPure(t *testing.T) {
+	for _, pkg := range []string{"mathx", "tech", "variation", "quality", "sim", "fault", "workload"} {
+		bp, err := build.ImportDir(filepath.Join("internal", pkg), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range bp.Imports {
+			for _, banned := range []string{"/chip", "/core", "/rms", "/power", "/baseline", "/experiments"} {
+				if strings.HasSuffix(imp, banned) {
+					t.Errorf("substrate internal/%s imports %s", pkg, imp)
+				}
+			}
+		}
+	}
+}
