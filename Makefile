@@ -1,0 +1,18 @@
+# Verification tiers. tier1 is the repository's baseline gate; race is
+# mandatory since the worker pool and the memoized model caches put
+# goroutines on shared chips, fronts, and Cholesky factors.
+.PHONY: tier1 race bench-parallel golden
+
+tier1:
+	go build ./... && go test ./...
+
+race:
+	go vet ./... && go test -race ./...
+
+# Measure the parallel engine's speedup and record BENCH_parallel.json.
+bench-parallel:
+	./scripts/bench_parallel.sh
+
+# Regenerate the pinned golden artifacts after an intentional model change.
+golden:
+	UPDATE_GOLDEN=1 go test ./internal/experiments

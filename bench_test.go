@@ -11,15 +11,16 @@
 package repro_test
 
 import (
+	"context"
 	"io"
 	"strconv"
-	"strings"
 	"testing"
 
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/parallel"
 	"repro/internal/power"
 	"repro/internal/rms"
 	"repro/internal/tech"
@@ -53,22 +54,8 @@ func runExperiment(b *testing.B, id string) []*experiments.Table {
 // reports it under name.
 func noteMetric(b *testing.B, tables []*experiments.Table, tag, name string) {
 	b.Helper()
-	for _, t := range tables {
-		for _, n := range t.Notes {
-			idx := strings.Index(n, tag)
-			if idx < 0 {
-				continue
-			}
-			rest := n[idx+len(tag):]
-			for _, tok := range strings.FieldsFunc(rest, func(r rune) bool {
-				return !(r == '.' || r == '-' || (r >= '0' && r <= '9'))
-			}) {
-				if v, err := strconv.ParseFloat(strings.TrimSuffix(tok, "."), 64); err == nil {
-					b.ReportMetric(v, name)
-					return
-				}
-			}
-		}
+	if v, ok := experiments.NoteMetric(tables, tag); ok {
+		b.ReportMetric(v, name)
 	}
 }
 
@@ -350,6 +337,57 @@ func BenchmarkDynamic(b *testing.B) {
 }
 
 func BenchmarkPopulation(b *testing.B) { runExperiment(b, "population") }
+
+// --- Parallel engine ------------------------------------------------
+//
+// The Sequential/Parallel pairs measure the worker pool's speedup on
+// the two headline paths: Monte-Carlo population regeneration and the
+// all-experiments driver. scripts/bench_parallel.sh runs both pairs and
+// records the ratios in BENCH_parallel.json; the parallel variants
+// target >= 3x on a 4+-core machine. Caches are reset every iteration
+// so each run pays the full cold-cache cost the pool is hiding.
+
+// benchPopulation draws the paper's 100-chip sample from a prebuilt
+// factory under the given pool width.
+func benchPopulation(b *testing.B, workers int) {
+	b.Cleanup(parallel.SetWorkers(workers))
+	f, err := chip.NewFactory(chip.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const paperChips = 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pop := f.Population(2014, paperChips)
+		if len(pop) != paperChips {
+			b.Fatal("short population")
+		}
+	}
+}
+
+func BenchmarkPopulationSequential(b *testing.B) { benchPopulation(b, 1) }
+func BenchmarkPopulationParallel(b *testing.B)   { benchPopulation(b, 0) }
+
+// benchRunAll regenerates every registered experiment under the given
+// pool width, rendering to io.Discard — the full `cmd/accordion all`
+// run as a benchmark.
+func benchRunAll(b *testing.B, workers int) {
+	b.Cleanup(parallel.SetWorkers(workers))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCaches()
+		results, err := experiments.RunAll(context.Background(), experiments.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.RenderAll(io.Discard, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
+func BenchmarkRunAll(b *testing.B)           { benchRunAll(b, 0) }
 
 func BenchmarkKernelBtcmine(b *testing.B) { benchKernel(b, "btcmine") }
 

@@ -2,15 +2,21 @@
 //
 // Usage:
 //
-//	accordion [-seed N] [-chip N] [-chips N] [list | all | <experiment id>...]
+//	accordion [-seed N] [-chip N] [-chips N] [-j N] [list | all | <experiment id>...]
 //
 // Experiment ids correspond to the paper's tables and figures: fig1a,
 // fig1b, fig1c, fig2, fig4, fig5a, fig5b, fig6, fig7, table2, table3,
 // headline, corruption, baselines. `list` prints the available ids;
 // `all` (or no argument) runs everything in presentation order.
+//
+// Independent experiments run concurrently on the shared worker pool
+// (-j, default GOMAXPROCS) and share the memoized model caches; the
+// output is byte-identical to a sequential -j 1 run, in the order the
+// ids were given.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,17 +24,35 @@ import (
 	"path/filepath"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", 1, "master seed for workloads and fault streams")
-		chip   = flag.Int64("chip", 2014, "seed of the representative chip sample")
-		chips  = flag.Int("chips", 20, "Monte-Carlo population size")
-		format = flag.String("format", "text", "output format: text or csv")
-		outDir = flag.String("out", "", "also write each experiment to <out>/<id>.<ext>")
+		seed    = flag.Int64("seed", 1, "master seed for workloads and fault streams")
+		chip    = flag.Int64("chip", 2014, "seed of the representative chip sample")
+		chips   = flag.Int("chips", 20, "Monte-Carlo population size (the paper samples 100)")
+		workers = flag.Int("j", 0, "worker-pool width for experiments and model sweeps (0 = GOMAXPROCS)")
+		format  = flag.String("format", "text", "output format: text or csv")
+		outDir  = flag.String("out", "", "also write each experiment to <out>/<id>.<ext>")
 	)
 	flag.Parse()
+	fail := func(code int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "accordion: "+format+"\n", args...)
+		os.Exit(code)
+	}
+	const maxChips = 100000
+	switch {
+	case *chips < 1:
+		fail(2, "-chips must be at least 1, got %d", *chips)
+	case *chips > maxChips:
+		fail(2, "-chips %d exceeds the %d-chip sanity cap", *chips, maxChips)
+	case *workers < 0:
+		fail(2, "-j must be non-negative (0 = GOMAXPROCS), got %d", *workers)
+	case *format != "text" && *format != "csv":
+		fail(2, "unknown format %q (want text or csv)", *format)
+	}
+	parallel.SetWorkers(*workers)
 	cfg := experiments.Config{Seed: *seed, ChipSeed: *chip, Chips: *chips}
 
 	args := flag.Args()
@@ -41,60 +65,49 @@ func main() {
 	if len(args) == 0 || (len(args) == 1 && args[0] == "all") {
 		args = experiments.IDs()
 	}
-	reg := experiments.Registry()
-	for _, id := range args {
-		runner, ok := reg[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "accordion: unknown experiment %q (try `accordion list`)\n", id)
-			os.Exit(2)
-		}
-		tables, err := runner(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "accordion: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		render := func(w io.Writer) error {
-			for _, t := range tables {
-				var err error
-				switch *format {
-				case "text":
-					err = t.Render(w)
-				case "csv":
-					err = t.RenderCSV(w)
-				default:
-					return fmt.Errorf("unknown format %q", *format)
-				}
-				if err != nil {
-					return err
-				}
+	results, err := experiments.RunMany(context.Background(), cfg, args)
+	if err != nil {
+		fail(2, "%v (try `accordion list`)", err)
+	}
+	if err := experiments.FirstErr(results); err != nil {
+		fail(1, "%v", err)
+	}
+	render := func(w io.Writer, tables []*experiments.Table) error {
+		for _, t := range tables {
+			var err error
+			switch *format {
+			case "text":
+				err = t.Render(w)
+			case "csv":
+				err = t.RenderCSV(w)
 			}
-			return nil
+			if err != nil {
+				return err
+			}
 		}
-		if err := render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "accordion: %v\n", err)
-			os.Exit(2)
+		return nil
+	}
+	for _, r := range results {
+		if err := render(os.Stdout, r.Tables); err != nil {
+			fail(2, "%v", err)
 		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "accordion: %v\n", err)
-				os.Exit(1)
+				fail(1, "%v", err)
 			}
 			ext := "txt"
 			if *format == "csv" {
 				ext = "csv"
 			}
-			f, err := os.Create(filepath.Join(*outDir, id+"."+ext))
+			f, err := os.Create(filepath.Join(*outDir, r.ID+"."+ext))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "accordion: %v\n", err)
-				os.Exit(1)
+				fail(1, "%v", err)
 			}
-			if err := render(f); err != nil {
-				fmt.Fprintf(os.Stderr, "accordion: %v\n", err)
-				os.Exit(1)
+			if err := render(f, r.Tables); err != nil {
+				fail(1, "%v", err)
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "accordion: %v\n", err)
-				os.Exit(1)
+				fail(1, "%v", err)
 			}
 		}
 	}

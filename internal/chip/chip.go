@@ -12,11 +12,13 @@
 package chip
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 	"repro/internal/tech"
 	"repro/internal/variation"
 )
@@ -151,6 +153,7 @@ type Factory struct {
 	cfg        Config
 	vthSampler *variation.Sampler
 	lefSampler *variation.Sampler
+	corePts    []variation.Point
 	nCore      int
 }
 
@@ -169,7 +172,7 @@ func NewFactory(cfg Config) (*Factory, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Factory{cfg: cfg, vthSampler: vs, lefSampler: ls, nCore: len(corePts)}, nil
+	return &Factory{cfg: cfg, vthSampler: vs, lefSampler: ls, corePts: corePts, nCore: len(corePts)}, nil
 }
 
 // Config returns the factory's configuration.
@@ -183,7 +186,7 @@ func (f *Factory) Sample(seed int64) *Chip {
 	leffDev := f.lefSampler.Sample(rng.Split(2))
 	blockRng := rng.Split(3)
 
-	corePts, _ := layout(cfg)
+	corePts := f.corePts
 	ch := &Chip{Cfg: cfg, Seed: seed}
 	ch.Cores = make([]Core, f.nCore)
 	for i := range ch.Cores {
@@ -222,13 +225,21 @@ func (f *Factory) Sample(seed int64) *Chip {
 	return ch
 }
 
-// Population draws n chips with seeds derived from seed.
+// Population draws n chips with seeds derived from seed. The draws fan
+// out across parallel.Workers() goroutines; chip i's seed depends only
+// on (seed, i), so the population is bit-identical to a sequential
+// draw regardless of the worker count.
 func (f *Factory) Population(seed int64, n int) []*Chip {
-	chips := make([]*Chip, n)
-	for i := range chips {
-		chips[i] = f.Sample(mathx.SplitSeed(seed, int64(i)))
-	}
+	chips, _ := f.PopulationCtx(context.Background(), seed, n)
 	return chips
+}
+
+// PopulationCtx is Population with cancellation: it returns early with
+// the context's error if ctx is cancelled mid-draw.
+func (f *Factory) PopulationCtx(ctx context.Context, seed int64, n int) ([]*Chip, error) {
+	return parallel.Map(ctx, n, func(i int) (*Chip, error) {
+		return f.Sample(mathx.SplitSeed(seed, int64(i))), nil
+	})
 }
 
 // New is a convenience constructor for a single chip.

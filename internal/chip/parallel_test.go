@@ -1,0 +1,77 @@
+package chip
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// TestPopulationParallelDeterminism pins the engine's hard requirement:
+// the population must be bit-identical no matter how wide the pool is.
+func TestPopulationParallelDeterminism(t *testing.T) {
+	f, err := NewFactory(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	populations := map[int][]*Chip{}
+	for _, workers := range []int{1, 2, 8} {
+		restore := parallel.SetWorkers(workers)
+		populations[workers] = f.Population(2014, n)
+		restore()
+	}
+	want := populations[1]
+	for _, workers := range []int{2, 8} {
+		got := populations[workers]
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d chips, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Seed != want[i].Seed {
+				t.Fatalf("workers=%d: chip %d seed %d, want %d", workers, i, got[i].Seed, want[i].Seed)
+			}
+			if !reflect.DeepEqual(got[i].Cores, want[i].Cores) {
+				t.Fatalf("workers=%d: chip %d cores differ from the sequential draw", workers, i)
+			}
+			if !reflect.DeepEqual(got[i].Blocks, want[i].Blocks) {
+				t.Fatalf("workers=%d: chip %d blocks differ from the sequential draw", workers, i)
+			}
+			if got[i].VddNTV() != want[i].VddNTV() {
+				t.Fatalf("workers=%d: chip %d VddNTV %g, want %g", workers, i, got[i].VddNTV(), want[i].VddNTV())
+			}
+		}
+	}
+}
+
+// TestPopulationMatchesSample pins that the parallel population draws
+// exactly the chips Sample would produce one at a time.
+func TestPopulationMatchesSample(t *testing.T) {
+	f, err := NewFactory(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := parallel.SetWorkers(4)
+	defer restore()
+	pop := f.Population(7, 4)
+	for i, ch := range pop {
+		one := f.Sample(ch.Seed)
+		if !reflect.DeepEqual(ch.Cores, one.Cores) || !reflect.DeepEqual(ch.Blocks, one.Blocks) {
+			t.Fatalf("population chip %d differs from a direct Sample(%d)", i, ch.Seed)
+		}
+	}
+}
+
+func TestPopulationCtxCancellation(t *testing.T) {
+	f, err := NewFactory(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.PopulationCtx(ctx, 1, 50); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled PopulationCtx: err = %v, want context.Canceled", err)
+	}
+}

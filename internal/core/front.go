@@ -1,13 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/fault"
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 	"repro/internal/rms"
 )
 
@@ -41,7 +41,9 @@ type QualityModel struct {
 // Drop 1/4 and Drop 1/2 and returns the three fronts. This is the
 // expensive profiling step behind Figures 2 and 4; reuse the result.
 // The (scenario, input) cells are independent deterministic executions,
-// so they run concurrently, bounded by GOMAXPROCS.
+// so they fan out on the parallel pool (bounded by parallel.Workers(),
+// which the -j flag controls) with results collected by cell index —
+// the model is identical to a sequential scan.
 func MeasureFronts(b rms.Benchmark, seed int64) (*QualityModel, error) {
 	ref, err := rms.Reference(b, seed)
 	if err != nil {
@@ -56,55 +58,25 @@ func MeasureFronts(b rms.Benchmark, seed int64) (*QualityModel, error) {
 		{"drop-1/2", fault.DropHalf()},
 	}
 	sweep := b.Sweep()
-	type cell struct {
-		scenario int
-		point    int
-	}
-	qualities := make([][]float64, len(scenarios))
-	errs := make([][]error, len(scenarios))
-	var cells []cell
-	for s := range scenarios {
-		qualities[s] = make([]float64, len(sweep))
-		errs[s] = make([]error, len(sweep))
-		for p := range sweep {
-			cells = append(cells, cell{s, p})
+	qualities, err := parallel.Map(context.Background(), len(scenarios)*len(sweep), func(i int) (float64, error) {
+		sc, in := scenarios[i/len(sweep)], sweep[i%len(sweep)]
+		res, err := b.Run(in, b.DefaultThreads(), sc.plan, seed)
+		if err != nil {
+			return 0, fmt.Errorf("core: %s %s at input %g: %w", b.Name(), sc.name, in, err)
 		}
+		return b.Quality(res, ref)
+	})
+	if err != nil {
+		return nil, err
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for _, c := range cells {
-		wg.Add(1)
-		go func(c cell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			in := sweep[c.point]
-			res, err := b.Run(in, b.DefaultThreads(), scenarios[c.scenario].plan, seed)
-			if err != nil {
-				errs[c.scenario][c.point] = fmt.Errorf("core: %s %s at input %g: %w",
-					b.Name(), scenarios[c.scenario].name, in, err)
-				return
-			}
-			q, err := b.Quality(res, ref)
-			if err != nil {
-				errs[c.scenario][c.point] = err
-				return
-			}
-			qualities[c.scenario][c.point] = q
-		}(c)
-	}
-	wg.Wait()
 
 	qm := &QualityModel{Benchmark: b.Name()}
 	for s, sc := range scenarios {
 		front := &QualityFront{Benchmark: b.Name(), Scenario: sc.name}
 		for p, in := range sweep {
-			if errs[s][p] != nil {
-				return nil, errs[s][p]
-			}
 			front.Inputs = append(front.Inputs, in)
 			front.ProblemSizes = append(front.ProblemSizes, b.ProblemSize(in))
-			front.Quality = append(front.Quality, qualities[s][p])
+			front.Quality = append(front.Quality, qualities[s*len(sweep)+p])
 		}
 		ensureAscending(front)
 		switch sc.name {

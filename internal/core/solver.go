@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/chip"
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 	"repro/internal/power"
 	"repro/internal/rms"
 	"repro/internal/sim"
@@ -281,17 +283,15 @@ func (s *Solver) Solve(input float64, flavor Flavor) (OperatingPoint, error) {
 
 // Front solves every input of the benchmark's sweep under one flavor,
 // producing one iso-execution-time pareto front of Figures 6 and 7
-// (problem size, and hence mode, varies along it).
+// (problem size, and hence mode, varies along it). The sweep points
+// are independent — Solve never writes solver state — so they fan out
+// across parallel.Workers() goroutines with results in sweep order,
+// identical to a sequential scan.
 func (s *Solver) Front(flavor Flavor) ([]OperatingPoint, error) {
-	var out []OperatingPoint
-	for _, in := range s.Bench.Sweep() {
-		op, err := s.Solve(in, flavor)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, op)
-	}
-	return out, nil
+	sweep := s.Bench.Sweep()
+	return parallel.Map(context.Background(), len(sweep), func(i int) (OperatingPoint, error) {
+		return s.Solve(sweep[i], flavor)
+	})
 }
 
 // SolveBest returns the most energy-efficient feasible operating point

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 	"repro/internal/power"
 	"repro/internal/rms"
 	"repro/internal/rms/btcmine"
@@ -36,7 +38,7 @@ func Weakscale(cfg Config) ([]*Table, error) {
 	// with the expansion (q ~ problem size, no saturation), whereas the
 	// RMS benchmarks' quality saturates. Quantify both at the deepest
 	// Expand sweep point.
-	qmM, err := core.MeasureFronts(miner, cfg.Seed)
+	qmM, err := MeasuredFronts(miner, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +50,7 @@ func Weakscale(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	qmC, err := core.MeasureFronts(cb, cfg.Seed)
+	qmC, err := MeasuredFronts(cb, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -142,26 +144,38 @@ func Population(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	qm, err := core.MeasureFronts(cb, cfg.Seed)
+	qm, err := MeasuredFronts(cb, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	var vddNTV, nstv, eff, fGHz []float64
-	for i := 0; i < n; i++ {
+	// One draw+solve per Monte-Carlo chip, fanned out on the pool: chip
+	// i's seed depends only on (ChipSeed, i) and results land at their
+	// index, so the statistics match a sequential scan exactly.
+	type chipStats struct {
+		vddNTV, nstv, eff, fGHz float64
+	}
+	stats, err := parallel.Map(context.Background(), n, func(i int) (chipStats, error) {
 		ch := factory.Sample(mathx.SplitSeed(cfg.ChipSeed, int64(i)))
 		pm := power.NewModel(ch)
 		solver, err := core.NewSolver(ch, pm, cb, qm)
 		if err != nil {
-			return nil, err
+			return chipStats{}, err
 		}
 		op, err := solver.Solve(cb.DefaultInput(), core.Speculative)
 		if err != nil {
-			return nil, err
+			return chipStats{}, err
 		}
-		vddNTV = append(vddNTV, ch.VddNTV())
-		nstv = append(nstv, float64(solver.Baseline().N))
-		eff = append(eff, op.RelMIPSPerWatt)
-		fGHz = append(fGHz, op.Freq)
+		return chipStats{ch.VddNTV(), float64(solver.Baseline().N), op.RelMIPSPerWatt, op.Freq}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var vddNTV, nstv, eff, fGHz []float64
+	for _, s := range stats {
+		vddNTV = append(vddNTV, s.vddNTV)
+		nstv = append(nstv, s.nstv)
+		eff = append(eff, s.eff)
+		fGHz = append(fGHz, s.fGHz)
 	}
 	t := &Table{
 		ID:      "population",
@@ -195,7 +209,7 @@ func VddSweep(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	qm, err := core.MeasureFronts(cb, cfg.Seed)
+	qm, err := MeasuredFronts(cb, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/rms"
 )
 
@@ -11,7 +10,7 @@ import (
 // quality (normalized to the default-input quality) versus relative
 // problem size under Default, Drop 1/4 and Drop 1/2.
 func qualityFrontTable(id string, b rms.Benchmark, cfg Config) (*Table, error) {
-	qm, err := core.MeasureFronts(b, cfg.Seed)
+	qm, err := MeasuredFronts(b, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -17,7 +17,7 @@ func paretoTable(id string, b rms.Benchmark, cfg Config) (*Table, error) {
 		return nil, err
 	}
 	pm := power.NewModel(rep)
-	qm, err := core.MeasureFronts(b, cfg.Seed)
+	qm, err := MeasuredFronts(b, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +108,7 @@ func Headline(cfg Config) ([]*Table, error) {
 	minGain, maxGain := 1e9, -1e9
 	minEff, maxEff := 1e9, -1e9
 	for _, b := range all {
-		qm, err := core.MeasureFronts(b, cfg.Seed)
+		qm, err := MeasuredFronts(b, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}

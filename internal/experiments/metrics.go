@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+)
+
+// FirstFloat scans s for the first well-formed decimal number and
+// returns it. A number is an optional sign, a mantissa with at least
+// one digit (digits, optionally with one decimal point), and an
+// optional exponent; it must not begin inside another token, so the
+// "2" of "v2metric" or the tail "3" of "1.2.3" never match. Trailing
+// punctuation ("2.4x", "5.") is handled by matching greedily and
+// stopping at the first character that cannot extend the number.
+func FirstFloat(s string) (float64, bool) {
+	isDigit := func(b byte) bool { return b >= '0' && b <= '9' }
+	isAlnum := func(b byte) bool {
+		return isDigit(b) || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+	}
+	for i := 0; i < len(s); i++ {
+		// A candidate starts at a digit, or at a sign/point leading
+		// directly into one.
+		j := i
+		if s[j] == '+' || s[j] == '-' {
+			j++
+		}
+		if j < len(s) && s[j] == '.' {
+			j++
+		}
+		if j >= len(s) || !isDigit(s[j]) {
+			continue
+		}
+		// Reject starts glued to the tail of another token: "1.2.3"
+		// must yield 1.2 (from the first character), never 2 or 3.
+		if i > 0 && (isAlnum(s[i-1]) || s[i-1] == '.') {
+			continue
+		}
+		end := scanFloat(s, i)
+		if v, err := strconv.ParseFloat(s[i:end], 64); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// scanFloat returns the end of the longest parseable number starting at
+// i: sign, mantissa digits with at most one point, and an exponent only
+// if it is complete (so "2.4x" stops before the 'x' and "1e" stops
+// before the 'e').
+func scanFloat(s string, i int) int {
+	j := i
+	if j < len(s) && (s[j] == '+' || s[j] == '-') {
+		j++
+	}
+	digits, point := 0, false
+	for j < len(s) {
+		switch {
+		case s[j] >= '0' && s[j] <= '9':
+			digits++
+		case s[j] == '.' && !point:
+			point = true
+		default:
+			goto mantissaDone
+		}
+		j++
+	}
+mantissaDone:
+	if digits == 0 {
+		return j
+	}
+	// Trailing "5." parses fine; a dangling point with no digits after
+	// it is still part of the match strconv accepts.
+	if j < len(s) && (s[j] == 'e' || s[j] == 'E') {
+		k := j + 1
+		if k < len(s) && (s[k] == '+' || s[k] == '-') {
+			k++
+		}
+		expDigits := k
+		for k < len(s) && s[k] >= '0' && s[k] <= '9' {
+			k++
+		}
+		if k > expDigits {
+			return k
+		}
+	}
+	return j
+}
+
+// NoteMetric finds the first table note containing tag and returns the
+// first number following it, for benchmark metric extraction.
+func NoteMetric(tables []*Table, tag string) (float64, bool) {
+	for _, t := range tables {
+		for _, n := range t.Notes {
+			idx := strings.Index(n, tag)
+			if idx < 0 {
+				continue
+			}
+			if v, ok := FirstFloat(n[idx+len(tag):]); ok {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+func TestFirstFloat(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		// The shapes table notes actually contain.
+		{" 2.4x (paper 2-5x)", 2.4, true},
+		{"gain 1.61-1.87x band", 1.61, true},
+		{"at Vdd=0.485V", 0.485, true},
+		{"phi=0.1", 0.1, true},
+		{"N= 72 cores", 72, true},
+		{"negative -3.5 dB", -3.5, true},
+		{"explicit +12 offset", 12, true},
+		{"leading .5 fraction", 0.5, true},
+		{"scientific 1.5e-3 s", 1.5e-3, true},
+		{"upper 2E6 ops", 2e6, true},
+
+		// The malformed tokens the old TrimSuffix tokenizer mishandled.
+		{"version 1.2.3 of the spec", 1.2, true},
+		{"a lone - dash", 0, false},
+		{"dashes -- everywhere -", 0, false},
+		{"dots ... nothing", 0, false},
+		{"sign-dot -. then 7", 7, true},
+		{"trailing dot 5. end", 5, true},
+		{"range 1/4 of tasks", 1, true},
+		{"drop-1/4 scenario", 1, true},
+		{"incomplete exponent 3e then text", 3, true},
+		{"exponent sign only 4e- stop", 4, true},
+
+		// Numbers glued to identifiers must not match mid-token.
+		{"v2metric has no standalone number", 0, false},
+		{"x264 is a name, 9 is the value", 9, true},
+
+		// Nothing numeric at all.
+		{"", 0, false},
+		{"no digits here", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := FirstFloat(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("FirstFloat(%q) = (%g, %v), want (%g, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestNoteMetric(t *testing.T) {
+	tables := []*Table{
+		{Notes: []string{"irrelevant note"}},
+		{Notes: []string{
+			"f degradation 4.7x, energy/op gain 2.4x (paper 2-5x)",
+			"energy/op gain 9.9x later note must not shadow the first",
+		}},
+	}
+	if v, ok := NoteMetric(tables, "energy/op gain"); !ok || v != 2.4 {
+		t.Fatalf("NoteMetric = (%g, %v), want (2.4, true)", v, ok)
+	}
+	if _, ok := NoteMetric(tables, "absent tag"); ok {
+		t.Fatal("NoteMetric found an absent tag")
+	}
+	if _, ok := NoteMetric(nil, "x"); ok {
+		t.Fatal("NoteMetric on nil tables")
+	}
+}

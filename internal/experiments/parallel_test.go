@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// renderIDs runs the given experiments through RunMany under a fixed
+// pool width, from cold caches, and renders everything to one buffer.
+// A trimmed population keeps the sweep affordable; determinism does not
+// depend on the sample size.
+func renderIDs(t *testing.T, ids []string, workers int) []byte {
+	t.Helper()
+	defer parallel.SetWorkers(workers)()
+	ResetCaches()
+	cfg := DefaultConfig()
+	cfg.Chips = 6
+	results, err := RunMany(context.Background(), cfg, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderAll(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelEquivalence is the engine's acceptance test: a wide pool
+// must render byte-identical artifacts to a sequential run, across
+// every parallel path (population draws, quality-front profiling,
+// solver sweeps, the experiment driver itself, and all the caches they
+// share).
+func TestParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second equivalence sweep")
+	}
+	cases := []struct {
+		name string
+		ids  []string
+	}{
+		{"population-and-chips", []string{"fig5a", "population"}},
+		{"fronts-and-solver", []string{"fig6", "fig2"}},
+		{"mixed-drivers", []string{"fig1a", "table2", "vddsweep"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			sequential := renderIDs(t, c.ids, 1)
+			if len(sequential) == 0 {
+				t.Fatal("empty sequential render")
+			}
+			for _, workers := range []int{8} {
+				parallelOut := renderIDs(t, c.ids, workers)
+				if !bytes.Equal(sequential, parallelOut) {
+					t.Errorf("workers=%d rendering of %v differs from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s",
+						workers, c.ids, sequential, parallelOut)
+				}
+			}
+		})
+	}
+}
+
+// TestRunManyOrdersResults pins that results come back in argument
+// order regardless of completion order.
+func TestRunManyOrdersResults(t *testing.T) {
+	defer parallel.SetWorkers(4)()
+	ids := []string{"table2", "fig1a", "fig1b"}
+	results, err := RunMany(context.Background(), DefaultConfig(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ids) {
+		t.Fatalf("%d results for %d ids", len(results), len(ids))
+	}
+	for i, r := range results {
+		if r.ID != ids[i] {
+			t.Fatalf("result %d is %s, want %s", i, r.ID, ids[i])
+		}
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		if len(r.Tables) == 0 {
+			t.Fatalf("%s produced no tables", r.ID)
+		}
+	}
+}
+
+func TestRunManyRejectsUnknownID(t *testing.T) {
+	if _, err := RunMany(context.Background(), DefaultConfig(), []string{"fig1a", "nonsense"}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunManyCancellationMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunMany(ctx, DefaultConfig(), IDs()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunMany: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRepresentativeChipShared pins the cross-runner sharing: the same
+// ChipSeed yields the same *Chip pointer, distinct seeds distinct
+// chips.
+func TestRepresentativeChipShared(t *testing.T) {
+	ResetCaches()
+	a, err := RepresentativeChip(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RepresentativeChip(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("RepresentativeChip rebuilt the shared sample")
+	}
+	other := DefaultConfig()
+	other.ChipSeed = 99
+	c, err := RepresentativeChip(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("distinct ChipSeeds shared one chip")
+	}
+	ResetCaches()
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/parallel"
+)
+
+// RunResult is one experiment's outcome under RunMany: the tables it
+// produced, or the error that stopped it.
+type RunResult struct {
+	ID     string
+	Tables []*Table
+	Err    error
+}
+
+// RunMany executes the named experiments concurrently on the parallel
+// pool (bounded by parallel.Workers(), the -j flag) and returns their
+// results in the order the ids were given — the rendered output is
+// byte-identical to running them one at a time. Runner errors are
+// collected per experiment in RunResult.Err rather than cancelling
+// siblings; the returned error is non-nil only for an unknown id or a
+// context cancellation.
+func RunMany(ctx context.Context, cfg Config, ids []string) ([]RunResult, error) {
+	reg := Registry()
+	for _, id := range ids {
+		if _, ok := reg[id]; !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+		}
+	}
+	return parallel.Map(ctx, len(ids), func(i int) (RunResult, error) {
+		tables, err := reg[ids[i]](cfg)
+		return RunResult{ID: ids[i], Tables: tables, Err: err}, nil
+	})
+}
+
+// RunAll executes every registered experiment in presentation order.
+func RunAll(ctx context.Context, cfg Config) ([]RunResult, error) {
+	return RunMany(ctx, cfg, IDs())
+}
+
+// FirstErr returns the first per-experiment error in result order, or
+// nil.
+func FirstErr(results []RunResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("experiments: %s: %w", r.ID, r.Err)
+		}
+	}
+	return nil
+}
+
+// RenderAll renders every result's tables to w in order, stopping at
+// the first render or runner error.
+func RenderAll(w io.Writer, results []RunResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("experiments: %s: %w", r.ID, r.Err)
+		}
+		for _, t := range r.Tables {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package parallel
+
+import "sync"
+
+// Cache is a concurrency-safe memoization map with singleflight
+// semantics: for each key the compute function runs exactly once, even
+// under concurrent Do calls for that key — latecomers block until the
+// first caller's result is ready and then share it. Failed computations
+// (error or panic) are not cached, so a later Do retries.
+//
+// The zero value is ready to use. Values are shared between callers:
+// cache only immutable results, or have callers copy before mutating.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	done   chan struct{}
+	val    V
+	err    error
+	caught *PanicError
+}
+
+// Do returns the cached value for key, computing it with fn on the
+// first call. Concurrent calls for the same key wait for the in-flight
+// computation instead of duplicating it. If fn panics, the panic is
+// re-raised (as a *PanicError) on every waiting caller and the entry is
+// forgotten.
+func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[K]*cacheEntry[V])
+	}
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		if e.caught != nil {
+			panic(e.caught)
+		}
+		return e.val, e.err
+	}
+	e := &cacheEntry[V]{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if pe, ok := r.(*PanicError); ok {
+					e.caught = pe
+				} else {
+					e.caught = &PanicError{Value: r}
+				}
+			}
+		}()
+		e.val, e.err = fn()
+	}()
+	if e.err != nil || e.caught != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	if e.caught != nil {
+		panic(e.caught)
+	}
+	return e.val, e.err
+}
+
+// Get returns the cached value for key without computing anything; ok
+// reports whether a completed, successful entry exists.
+func (c *Cache[K, V]) Get(key K) (v V, ok bool) {
+	c.mu.Lock()
+	e, exists := c.entries[key]
+	c.mu.Unlock()
+	if !exists {
+		return v, false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil || e.caught != nil {
+			return v, false
+		}
+		return e.val, true
+	default:
+		return v, false
+	}
+}
+
+// Len returns the number of entries (including in-flight ones).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset empties the cache. In-flight computations complete and deliver
+// to their waiters but are not retained.
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	c.entries = nil
+	c.mu.Unlock()
+}

@@ -12,14 +12,28 @@
 // matrix, so no gridding or interpolation error enters.
 //
 // Everything is deterministic given a seed, and a single factorization
-// is reused across the Monte-Carlo chip population.
+// is reused across the Monte-Carlo chip population. Factorizations are
+// additionally memoized process-wide per (point set, field parameters)
+// — see NewSampler — so concurrent chip factories and SampleField calls
+// share one O(n³) Cholesky instead of each refactorizing the same
+// covariance.
+//
+// Exact sampling carries a hard 4096-point cap (enforced by
+// SampleField): the covariance is dense, so an n-point set costs O(n²)
+// memory for the factor and O(n³) time to factorize — 4096 points is
+// already a 128 MB factor and tens of seconds of work, and anything
+// larger is almost certainly a mistaken request for hours of
+// refactorization. Sample fields larger than the cap piecewise, or at
+// the layout points that actually matter (the chip package's approach).
 package variation
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 )
 
 // Point is a location on the die in normalized coordinates: the chip
@@ -133,7 +147,58 @@ type Sampler struct {
 	sigmaRnd float64
 }
 
+// cholCache memoizes covariance factors per exact (field parameters,
+// point set) key. The factor is immutable after construction (Sample
+// only multiplies by it), so samplers share cached entries freely
+// across goroutines. Entries above cholCachePoints points are computed
+// but not retained: a dense 2048-point factor is already 32 MB, and the
+// repository's hot sets (chip layouts) are an order of magnitude
+// smaller.
+var cholCache parallel.Cache[string, *mathx.Matrix]
+
+const cholCachePoints = 2048
+
+// cholKey encodes the exact bit patterns of the field parameters and
+// every coordinate, so distinct inputs can never collide.
+func cholKey(pts []Point, fp FieldParams) string {
+	buf := make([]byte, 0, 8*(2*len(pts)+4))
+	put := func(v float64) {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	put(fp.SigmaMu)
+	put(fp.CorrRange)
+	put(fp.SysFrac)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(fp.Corr))
+	for _, p := range pts {
+		put(p.X)
+		put(p.Y)
+	}
+	return string(buf)
+}
+
+// factorize builds the systematic covariance for the point set and
+// Cholesky-factorizes it.
+func factorize(pts []Point, fp FieldParams, sigmaSys float64) (*mathx.Matrix, error) {
+	n := len(pts)
+	cov := mathx.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			c := sigmaSys * sigmaSys * fp.corr(pts[i].Dist(pts[j]))
+			cov.Set(i, j, c)
+			cov.Set(j, i, c)
+		}
+	}
+	chol, err := mathx.Cholesky(cov)
+	if err != nil {
+		return nil, fmt.Errorf("variation: covariance factorization: %w", err)
+	}
+	return chol, nil
+}
+
 // NewSampler factorizes the systematic covariance for the point set.
+// Factors are memoized process-wide: concurrent calls with the same
+// point set and parameters share one factorization (singleflight), so
+// a Monte-Carlo population costs one O(n³) factorization total.
 func NewSampler(pts []Point, fp FieldParams) (*Sampler, error) {
 	if err := fp.Validate(); err != nil {
 		return nil, err
@@ -147,22 +212,24 @@ func NewSampler(pts []Point, fp FieldParams) (*Sampler, error) {
 
 	var chol *mathx.Matrix
 	if sigmaSys > 0 {
-		cov := mathx.NewMatrix(n, n)
-		for i := 0; i < n; i++ {
-			for j := 0; j <= i; j++ {
-				c := sigmaSys * sigmaSys * fp.corr(pts[i].Dist(pts[j]))
-				cov.Set(i, j, c)
-				cov.Set(j, i, c)
-			}
-		}
 		var err error
-		chol, err = mathx.Cholesky(cov)
+		if n <= cholCachePoints {
+			chol, err = cholCache.Do(cholKey(pts, fp), func() (*mathx.Matrix, error) {
+				return factorize(pts, fp, sigmaSys)
+			})
+		} else {
+			chol, err = factorize(pts, fp, sigmaSys)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("variation: covariance factorization: %w", err)
+			return nil, err
 		}
 	}
 	return &Sampler{params: fp, n: n, chol: chol, sigmaSys: sigmaSys, sigmaRnd: sigmaRnd}, nil
 }
+
+// ResetFactorizationCache empties the process-wide factor cache; it
+// exists for benchmarks that need to measure cold-cache behavior.
+func ResetFactorizationCache() { cholCache.Reset() }
 
 // N returns the number of layout points.
 func (s *Sampler) N() int { return s.n }
@@ -193,15 +260,18 @@ func (s *Sampler) Sample(rng *mathx.RNG) []float64 {
 
 // SampleField renders one systematic+random field realization on a
 // w x h grid covering the whole die; useful for visualization and for
-// statistical validation of the correlation structure. It builds its
-// own sampler, so prefer Sampler for repeated draws.
+// statistical validation of the correlation structure. The sampler it
+// builds goes through the process-wide factorization cache, so repeated
+// calls on the same grid and parameters refactorize nothing; grids
+// above the cache's retention threshold still pay one factorization
+// per call, so prefer a reused Sampler for repeated large draws.
 func SampleField(w, h int, fp FieldParams, rng *mathx.RNG) (*mathx.Grid2D, error) {
 	if w <= 0 || h <= 0 {
 		return nil, fmt.Errorf("variation: field dimensions must be positive")
 	}
 	// The exact sampler Cholesky-factorizes a (w*h)^2 covariance; cap
-	// the point count so a casual call cannot request hours of O(n^3)
-	// work.
+	// the point count (package doc) so a casual call cannot request
+	// hours of O(n^3) work.
 	if w*h > 4096 {
 		return nil, fmt.Errorf("variation: %dx%d field exceeds the %d-point exact-sampling cap", w, h, 4096)
 	}

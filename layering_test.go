@@ -13,15 +13,16 @@ import (
 // packages listed here (stdlib is always allowed).
 var allowedDeps = map[string][]string{
 	"mathx":         {},
+	"parallel":      {},
 	"tech":          {"mathx"},
-	"variation":     {"mathx"},
-	"chip":          {"mathx", "tech", "variation"},
+	"variation":     {"mathx", "parallel"},
+	"chip":          {"mathx", "parallel", "tech", "variation"},
 	"power":         {"chip"},
 	"sim":           {"mathx"},
 	"quality":       {},
 	"fault":         {"mathx"},
 	"workload":      {"mathx"},
-	"rms":           {"fault", "sim"},
+	"rms":           {"fault", "parallel", "sim"},
 	"rms/canneal":   {"fault", "mathx", "rms", "sim", "workload"},
 	"rms/ferret":    {"fault", "rms", "sim", "workload"},
 	"rms/bodytrack": {"fault", "mathx", "quality", "rms", "sim", "workload"},
@@ -30,11 +31,11 @@ var allowedDeps = map[string][]string{
 	"rms/srad":      {"fault", "mathx", "quality", "rms", "sim", "workload"},
 	"rms/btcmine":   {"fault", "rms", "sim"},
 	"rms/rmstest":   {"fault", "rms", "sim"},
-	"core":          {"chip", "fault", "mathx", "power", "rms", "sim", "tech"},
+	"core":          {"chip", "fault", "mathx", "parallel", "power", "rms", "sim", "tech"},
 	"baseline":      {"chip", "power"},
-	"experiments": {"baseline", "chip", "core", "fault", "mathx", "power",
+	"experiments": {"baseline", "chip", "core", "fault", "mathx", "parallel", "power",
 		"rms", "rms/bodytrack", "rms/btcmine", "rms/canneal", "rms/ferret",
-		"rms/hotspot", "rms/srad", "rms/xh264", "sim", "tech"},
+		"rms/hotspot", "rms/srad", "rms/xh264", "sim", "tech", "variation"},
 }
 
 func TestInternalLayering(t *testing.T) {

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Measures the parallel engine's speedup on the two headline paths —
+# Monte-Carlo population regeneration and the all-experiments driver —
+# by running the Sequential/Parallel benchmark pairs from bench_test.go
+# and recording the ratios in BENCH_parallel.json.
+#
+# Usage: scripts/bench_parallel.sh [output.json]
+#   BENCHTIME=5x scripts/bench_parallel.sh   # more iterations
+#
+# The parallel variants target >= 3x on a 4+-core machine; on fewer
+# cores the ratio degrades toward 1x by construction (the pool width
+# defaults to GOMAXPROCS).
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_parallel.json}"
+benchtime="${BENCHTIME:-2x}"
+
+nsop() {
+    go test -run '^$' -bench "^$1\$" -benchtime "$benchtime" . \
+        | awk -v b="$1" '$1 ~ "^"b {print $3; exit}'
+}
+
+echo "benchmarking population draw (sequential)..." >&2
+pop_seq=$(nsop BenchmarkPopulationSequential)
+echo "benchmarking population draw (parallel)..." >&2
+pop_par=$(nsop BenchmarkPopulationParallel)
+echo "benchmarking all-experiments driver (sequential)..." >&2
+all_seq=$(nsop BenchmarkRunAllSequential)
+echo "benchmarking all-experiments driver (parallel)..." >&2
+all_par=$(nsop BenchmarkRunAll)
+
+cores=$(go env GOMAXPROCS 2>/dev/null || echo 0)
+[ "$cores" -gt 0 ] 2>/dev/null || cores=$(getconf _NPROCESSORS_ONLN)
+
+awk -v ps="$pop_seq" -v pp="$pop_par" -v as="$all_seq" -v ap="$all_par" \
+    -v cores="$cores" -v benchtime="$benchtime" 'BEGIN {
+    printf "{\n"
+    printf "  \"cores\": %d,\n", cores
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"population\": {\"sequential_ns_op\": %s, \"parallel_ns_op\": %s, \"speedup\": %.2f},\n", ps, pp, ps/pp
+    printf "  \"runall\": {\"sequential_ns_op\": %s, \"parallel_ns_op\": %s, \"speedup\": %.2f}\n", as, ap, as/ap
+    printf "}\n"
+}' > "$out"
+
+echo "wrote $out:" >&2
+cat "$out"
