@@ -1,13 +1,36 @@
 # Verification tiers. tier1 is the repository's baseline gate; race is
 # mandatory since the worker pool and the memoized model caches put
-# goroutines on shared chips, fronts, and Cholesky factors.
-.PHONY: tier1 race bench-parallel golden
+# goroutines on shared chips, fronts, and Cholesky factors. `make ci`
+# mirrors .github/workflows/ci.yml locally, job for job.
+.PHONY: tier1 race bench-parallel golden ci fmt-check cover
 
 tier1:
 	go build ./... && go test ./...
 
 race:
 	go vet ./... && go test -race ./...
+
+# Everything the CI workflow checks, in the same order: build, vet,
+# gofmt cleanliness, tests, then the race tier.
+ci:
+	go build ./...
+	go vet ./...
+	$(MAKE) fmt-check
+	go test ./...
+	go test -race ./...
+
+# Fail if any file needs gofmt, listing the offenders.
+fmt-check:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required on:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+
+# Full-suite coverage with a minimum-total floor (COVER_MIN to adjust).
+cover:
+	./scripts/coverage.sh
 
 # Measure the parallel engine's speedup and record BENCH_parallel.json.
 bench-parallel:

@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	accordion [-seed N] [-chip N] [-chips N] [-j N] [list | all | <experiment id>...]
+//	accordion [-seed N] [-chip N] [-chips N] [-j N] [-telemetry text|json]
+//	          [-pprof addr] [list | all | <experiment id>...]
 //
 // Experiment ids correspond to the paper's tables and figures: fig1a,
 // fig1b, fig1c, fig2, fig4, fig5a, fig5b, fig6, fig7, table2, table3,
@@ -13,6 +14,13 @@
 // (-j, default GOMAXPROCS) and share the memoized model caches; the
 // output is byte-identical to a sequential -j 1 run, in the order the
 // ids were given.
+//
+// Observability: -telemetry text|json enables the process-wide
+// telemetry layer (pool utilization, cache hit rates, chip-draw
+// latency, per-runner stage timings) and dumps the report to stderr
+// after the run, so stdout stays a clean artifact stream. -pprof
+// <addr> serves net/http/pprof plus a /telemetryz JSON endpoint with
+// the same numbers for live scraping.
 package main
 
 import (
@@ -20,21 +28,26 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "master seed for workloads and fault streams")
-		chip    = flag.Int64("chip", 2014, "seed of the representative chip sample")
-		chips   = flag.Int("chips", 20, "Monte-Carlo population size (the paper samples 100)")
-		workers = flag.Int("j", 0, "worker-pool width for experiments and model sweeps (0 = GOMAXPROCS)")
-		format  = flag.String("format", "text", "output format: text or csv")
-		outDir  = flag.String("out", "", "also write each experiment to <out>/<id>.<ext>")
+		seed      = flag.Int64("seed", 1, "master seed for workloads and fault streams")
+		chip      = flag.Int64("chip", 2014, "seed of the representative chip sample")
+		chips     = flag.Int("chips", 20, "Monte-Carlo population size (the paper samples 100)")
+		workers   = flag.Int("j", 0, "worker-pool width for experiments and model sweeps (0 = GOMAXPROCS)")
+		format    = flag.String("format", "text", "output format: text or csv")
+		outDir    = flag.String("out", "", "also write each experiment to <out>/<id>.<ext>")
+		telemMode = flag.String("telemetry", "", "dump a telemetry report to stderr after the run: text or json")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and /telemetryz on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	fail := func(code int, format string, args ...any) {
@@ -51,8 +64,40 @@ func main() {
 		fail(2, "-j must be non-negative (0 = GOMAXPROCS), got %d", *workers)
 	case *format != "text" && *format != "csv":
 		fail(2, "unknown format %q (want text or csv)", *format)
+	case *telemMode != "" && *telemMode != "text" && *telemMode != "json":
+		fail(2, "unknown -telemetry mode %q (want text or json)", *telemMode)
 	}
 	parallel.SetWorkers(*workers)
+
+	if *telemMode != "" || *pprofAddr != "" {
+		telemetry.SetEnabled(true)
+	}
+	if *pprofAddr != "" {
+		// net/http/pprof registered its handlers on the default mux at
+		// import; /telemetryz joins them there.
+		http.Handle("/telemetryz", telemetry.Handler())
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "accordion: pprof server: %v\n", err)
+			}
+		}()
+	}
+	dumpTelemetry := func() {
+		if *telemMode == "" {
+			return
+		}
+		snap := telemetry.Capture()
+		var err error
+		if *telemMode == "json" {
+			err = snap.WriteJSON(os.Stderr)
+		} else {
+			err = snap.WriteText(os.Stderr)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "accordion: telemetry: %v\n", err)
+		}
+	}
+
 	cfg := experiments.Config{Seed: *seed, ChipSeed: *chip, Chips: *chips}
 
 	args := flag.Args()
@@ -70,6 +115,9 @@ func main() {
 		fail(2, "%v (try `accordion list`)", err)
 	}
 	if err := experiments.FirstErr(results); err != nil {
+		// A partial run still has useful telemetry (which stage died,
+		// what the caches did first); dump before exiting.
+		dumpTelemetry()
 		fail(1, "%v", err)
 	}
 	render := func(w io.Writer, tables []*experiments.Table) error {
@@ -111,4 +159,5 @@ func main() {
 			}
 		}
 	}
+	dumpTelemetry()
 }

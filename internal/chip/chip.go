@@ -16,11 +16,21 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/mathx"
 	"repro/internal/parallel"
 	"repro/internal/tech"
+	"repro/internal/telemetry"
 	"repro/internal/variation"
+)
+
+// Factory telemetry: how many Monte-Carlo chips have been drawn and how
+// long one draw takes (two correlated-field samples plus the voltage
+// derivation; the factory's Cholesky cost is paid once at NewFactory).
+var (
+	telChipsDrawn = telemetry.GetCounter("chip.factory.chips_drawn")
+	telDrawNs     = telemetry.GetHistogram("chip.factory.draw_ns")
 )
 
 // Config describes the chip organization and its variation environment.
@@ -180,6 +190,10 @@ func (f *Factory) Config() Config { return f.cfg }
 
 // Sample draws one chip. The same seed always yields the same chip.
 func (f *Factory) Sample(seed int64) *Chip {
+	var start time.Time
+	if telemetry.On() {
+		start = time.Now()
+	}
 	cfg := f.cfg
 	rng := mathx.NewRNG(seed)
 	vthDev := f.vthSampler.Sample(rng.Split(1))
@@ -222,6 +236,10 @@ func (f *Factory) Sample(seed int64) *Chip {
 		})
 	}
 	ch.deriveVoltages()
+	telChipsDrawn.Inc()
+	if !start.IsZero() {
+		telDrawNs.Observe(time.Since(start).Nanoseconds())
+	}
 	return ch
 }
 

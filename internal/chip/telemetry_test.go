@@ -1,0 +1,28 @@
+package chip
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestSampleTelemetry: every Monte-Carlo draw lands in the factory's
+// chips_drawn counter and draw-latency histogram.
+func TestSampleTelemetry(t *testing.T) {
+	f, err := NewFactory(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer telemetry.SetEnabled(true)()
+	telemetry.Reset()
+	const n = 3
+	for i := 0; i < n; i++ {
+		f.Sample(int64(100 + i))
+	}
+	if got := telChipsDrawn.Value(); got != n {
+		t.Errorf("chips_drawn = %d, want %d", got, n)
+	}
+	if got := telDrawNs.Count(); got != n {
+		t.Errorf("draw_ns observations = %d, want %d", got, n)
+	}
+}

@@ -141,7 +141,7 @@ func BenchmarkByName(name string) (rms.Benchmark, error) {
 // is immutable after construction, so concurrent experiments read it
 // freely, and no runner pays the factory's covariance factorization
 // twice.
-var repChips parallel.Cache[int64, *chip.Chip]
+var repChips = parallel.Cache[int64, *chip.Chip]{Name: "experiments.RepresentativeChip"}
 
 // RepresentativeChip returns the chip sample all single-chip
 // experiments use. The sample is memoized per ChipSeed and shared
@@ -160,7 +160,7 @@ type frontKey struct {
 
 // fronts shares measured quality models across runners; a QualityModel
 // is read-only after MeasureFronts returns.
-var fronts parallel.Cache[frontKey, *core.QualityModel]
+var fronts = parallel.Cache[frontKey, *core.QualityModel]{Name: "experiments.MeasuredFronts"}
 
 // MeasuredFronts returns core.MeasureFronts(b, seed), memoized per
 // (benchmark, seed): the profiling sweep behind Figures 2 and 4 is the

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 // RunResult is one experiment's outcome under RunMany: the tables it
@@ -31,7 +32,14 @@ func RunMany(ctx context.Context, cfg Config, ids []string) ([]RunResult, error)
 		}
 	}
 	return parallel.Map(ctx, len(ids), func(i int) (RunResult, error) {
+		// Per-runner stage timing lands in experiments.run.<id>; the
+		// span name is only built while telemetry records.
+		var sp telemetry.Span
+		if telemetry.On() {
+			sp = telemetry.StartSpan("experiments.run." + ids[i])
+		}
 		tables, err := reg[ids[i]](cfg)
+		sp.End()
 		return RunResult{ID: ids[i], Tables: tables, Err: err}, nil
 	})
 }

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestRunManyTelemetry: each runner executed through RunMany records
+// one span in its experiments.run.<id> histogram, and the shared model
+// caches report their traffic.
+func TestRunManyTelemetry(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	telemetry.Reset()
+	results, err := RunMany(context.Background(), DefaultConfig(), []string{"fig1a", "fig1b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig1a", "fig1b"} {
+		h := telemetry.GetHistogram("experiments.run." + id)
+		if h.Count() != 1 {
+			t.Errorf("experiments.run.%s span count = %d, want 1", id, h.Count())
+		}
+	}
+}
+
+// TestRepresentativeChipCacheTelemetry: the memoized chip sample
+// reports a miss on first use and hits afterwards.
+func TestRepresentativeChipCacheTelemetry(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	telemetry.Reset()
+	ResetCaches()
+	telemetry.Reset() // discard the evictions ResetCaches just recorded
+	cfg := DefaultConfig()
+	if _, err := RepresentativeChip(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RepresentativeChip(cfg); err != nil {
+		t.Fatal(err)
+	}
+	hits := telemetry.GetCounter("cache.experiments.RepresentativeChip.hits")
+	misses := telemetry.GetCounter("cache.experiments.RepresentativeChip.misses")
+	if misses.Value() != 1 || hits.Value() != 1 {
+		t.Errorf("RepresentativeChip cache hits/misses = %d/%d, want 1/1",
+			hits.Value(), misses.Value())
+	}
+	// Leave the process-wide caches warm but consistent for the other
+	// tests in the package.
+	ResetCaches()
+}

@@ -1,6 +1,10 @@
 package parallel
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
 
 // Cache is a concurrency-safe memoization map with singleflight
 // semantics: for each key the compute function runs exactly once, even
@@ -10,9 +14,21 @@ import "sync"
 //
 // The zero value is ready to use. Values are shared between callers:
 // cache only immutable results, or have callers copy before mutating.
+//
+// A cache constructed with a Name reports telemetry: Do hits and misses
+// plus evictions (failed computations dropped, Reset discards) under
+// cache.<Name>.{hits,misses,evictions}. Unnamed caches report nothing.
 type Cache[K comparable, V any] struct {
+	// Name, when non-empty, registers the cache's telemetry counters on
+	// first use. Set it in the composite literal; it must not change
+	// after the first Do.
+	Name string
+
 	mu      sync.Mutex
 	entries map[K]*cacheEntry[V]
+	hits    *telemetry.Counter
+	misses  *telemetry.Counter
+	evicted *telemetry.Counter
 }
 
 type cacheEntry[V any] struct {
@@ -22,6 +38,18 @@ type cacheEntry[V any] struct {
 	caught *PanicError
 }
 
+// initMetrics lazily resolves the named counters; called under mu. The
+// counter methods are nil-safe, so unnamed caches leave them nil and
+// every bump is a no-op.
+func (c *Cache[K, V]) initMetrics() {
+	if c.Name == "" || c.hits != nil {
+		return
+	}
+	c.hits = telemetry.GetCounter("cache." + c.Name + ".hits")
+	c.misses = telemetry.GetCounter("cache." + c.Name + ".misses")
+	c.evicted = telemetry.GetCounter("cache." + c.Name + ".evictions")
+}
+
 // Do returns the cached value for key, computing it with fn on the
 // first call. Concurrent calls for the same key wait for the in-flight
 // computation instead of duplicating it. If fn panics, the panic is
@@ -29,11 +57,13 @@ type cacheEntry[V any] struct {
 // forgotten.
 func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	c.mu.Lock()
+	c.initMetrics()
 	if c.entries == nil {
 		c.entries = make(map[K]*cacheEntry[V])
 	}
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
+		c.hits.Inc()
 		<-e.done
 		if e.caught != nil {
 			panic(e.caught)
@@ -43,6 +73,7 @@ func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	e := &cacheEntry[V]{done: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
+	c.misses.Inc()
 
 	func() {
 		defer func() {
@@ -60,6 +91,7 @@ func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 		c.mu.Lock()
 		delete(c.entries, key)
 		c.mu.Unlock()
+		c.evicted.Inc()
 	}
 	close(e.done)
 	if e.caught != nil {
@@ -96,9 +128,14 @@ func (c *Cache[K, V]) Len() int {
 }
 
 // Reset empties the cache. In-flight computations complete and deliver
-// to their waiters but are not retained.
+// to their waiters but are not retained. Discarded entries count as
+// evictions in the cache's telemetry.
 func (c *Cache[K, V]) Reset() {
 	c.mu.Lock()
+	n := len(c.entries)
 	c.entries = nil
 	c.mu.Unlock()
+	if n > 0 {
+		c.evicted.Add(int64(n))
+	}
 }

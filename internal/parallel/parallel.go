@@ -21,6 +21,21 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Pool telemetry. Counters are self-gating (a disabled Add is one
+// atomic load), so they are bumped unconditionally; the timing paths
+// additionally gate their time.Now calls on telemetry.On().
+var (
+	telTasksSubmitted = telemetry.GetCounter("parallel.tasks.submitted")
+	telTasksCompleted = telemetry.GetCounter("parallel.tasks.completed")
+	telPanics         = telemetry.GetCounter("parallel.panics_recovered")
+	telPoolWidth      = telemetry.GetGauge("parallel.pool.width")
+	telQueueWait      = telemetry.GetHistogram("parallel.queue.wait_ns")
+	telWorkerBusy     = telemetry.GetHistogram("parallel.worker.busy_ns")
 )
 
 // workerOverride holds the explicit width set by SetWorkers; zero means
@@ -81,6 +96,12 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	if w > n {
 		w = n
 	}
+	telTasksSubmitted.Add(int64(n))
+	telPoolWidth.Set(int64(w))
+	var poolStart time.Time
+	if telemetry.On() {
+		poolStart = time.Now()
+	}
 
 	poolCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -95,6 +116,9 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	)
 	next.Store(-1)
 	record := func(i int, e error, pe *PanicError) {
+		if pe != nil {
+			telPanics.Inc()
+		}
 		mu.Lock()
 		if pe != nil && caught == nil {
 			caught = pe
@@ -105,13 +129,16 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 		mu.Unlock()
 		cancel()
 	}
-	run := func(i int) (e error) {
+	// finished distinguishes a normal return from a recovered panic
+	// (where the named results stay zero), so the completion counter
+	// never credits a panicked task.
+	run := func(i int) (e error, finished bool) {
 		defer func() {
 			if r := recover(); r != nil {
 				record(i, nil, &PanicError{Value: r, Stack: debug.Stack()})
 			}
 		}()
-		return fn(i)
+		return fn(i), true
 	}
 	for k := 0; k < w; k++ {
 		wg.Add(1)
@@ -122,9 +149,21 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 				if i >= n || poolCtx.Err() != nil {
 					return
 				}
-				if e := run(i); e != nil {
+				var claimed time.Time
+				if !poolStart.IsZero() {
+					claimed = time.Now()
+					telQueueWait.Observe(claimed.Sub(poolStart).Nanoseconds())
+				}
+				e, finished := run(i)
+				if !claimed.IsZero() {
+					telWorkerBusy.Observe(time.Since(claimed).Nanoseconds())
+				}
+				if e != nil {
 					record(i, e, nil)
 					return
+				}
+				if finished {
+					telTasksCompleted.Inc()
 				}
 			}
 		}()

@@ -1,0 +1,146 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestPoolTelemetry: one ForEach sweep accounts for every task in the
+// submitted/completed counters and the wait/busy histograms.
+func TestPoolTelemetry(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	telemetry.Reset()
+	const n = 50
+	err := ForEach(context.Background(), n, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := telTasksSubmitted.Value(); got != n {
+		t.Errorf("tasks.submitted = %d, want %d", got, n)
+	}
+	if got := telTasksCompleted.Value(); got != n {
+		t.Errorf("tasks.completed = %d, want %d", got, n)
+	}
+	if got := telQueueWait.Count(); got != n {
+		t.Errorf("queue.wait observations = %d, want %d", got, n)
+	}
+	if got := telWorkerBusy.Count(); got != n {
+		t.Errorf("worker.busy observations = %d, want %d", got, n)
+	}
+	if got := telPoolWidth.Value(); got < 1 || got > int64(Workers()) {
+		t.Errorf("pool.width = %d, want within [1, %d]", got, Workers())
+	}
+}
+
+// TestPoolTelemetryError: failed tasks are not counted as completed.
+func TestPoolTelemetryError(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	telemetry.Reset()
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 8, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := telTasksCompleted.Value(); got >= 8 {
+		t.Errorf("tasks.completed = %d, want < 8 (task 3 failed)", got)
+	}
+}
+
+// TestPoolTelemetryPanic: a recovered worker panic increments the panic
+// counter and is not credited as a completion.
+func TestPoolTelemetryPanic(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	telemetry.Reset()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected the pool to re-raise the panic")
+			}
+		}()
+		_ = ForEach(context.Background(), 4, func(i int) error {
+			if i == 0 {
+				panic("kaboom")
+			}
+			return nil
+		})
+	}()
+	if got := telPanics.Value(); got != 1 {
+		t.Errorf("panics_recovered = %d, want 1", got)
+	}
+	if got := telTasksCompleted.Value(); got >= 4 {
+		t.Errorf("tasks.completed = %d, want < 4 (task 0 panicked)", got)
+	}
+}
+
+// TestPoolTelemetryDisabled: with the switch off a sweep records
+// nothing at all.
+func TestPoolTelemetryDisabled(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	telemetry.Reset()
+	telemetry.SetEnabled(false)
+	if err := ForEach(context.Background(), 16, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if telTasksSubmitted.Value() != 0 || telTasksCompleted.Value() != 0 ||
+		telQueueWait.Count() != 0 || telWorkerBusy.Count() != 0 {
+		t.Errorf("disabled pool recorded: submitted=%d completed=%d wait=%d busy=%d",
+			telTasksSubmitted.Value(), telTasksCompleted.Value(),
+			telQueueWait.Count(), telWorkerBusy.Count())
+	}
+}
+
+// TestCacheTelemetry: a named cache reports hits, misses, and both
+// eviction paths (failed computations and Reset).
+func TestCacheTelemetry(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	telemetry.Reset()
+	c := Cache[int, int]{Name: "test.memo"}
+	hits := telemetry.GetCounter("cache.test.memo.hits")
+	misses := telemetry.GetCounter("cache.test.memo.misses")
+	evictions := telemetry.GetCounter("cache.test.memo.evictions")
+
+	if _, err := c.Do(1, func() (int, error) { return 10, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do(1, func() (int, error) { t.Error("recompute"); return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Value() != 1 || misses.Value() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", hits.Value(), misses.Value())
+	}
+
+	wantErr := errors.New("fail")
+	if _, err := c.Do(2, func() (int, error) { return 0, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want fail", err)
+	}
+	if evictions.Value() != 1 {
+		t.Errorf("evictions after failed compute = %d, want 1", evictions.Value())
+	}
+
+	c.Reset()
+	if evictions.Value() != 2 {
+		t.Errorf("evictions after Reset = %d, want 2 (one retained entry dropped)", evictions.Value())
+	}
+}
+
+// TestCacheUnnamedNoTelemetry: an unnamed cache registers nothing and
+// stays silent.
+func TestCacheUnnamedNoTelemetry(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	telemetry.Reset()
+	var c Cache[int, int]
+	if _, err := c.Do(1, func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if c.hits != nil || c.misses != nil || c.evicted != nil {
+		t.Error("unnamed cache registered telemetry counters")
+	}
+}

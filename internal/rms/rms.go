@@ -121,7 +121,7 @@ type refKey struct {
 // refCache memoizes reference executions with singleflight semantics,
 // so concurrent experiments profiling the same benchmark never
 // duplicate the error-free baseline run.
-var refCache parallel.Cache[refKey, Result]
+var refCache = parallel.Cache[refKey, Result]{Name: "rms.Reference"}
 
 // Reference runs the hyper-accurate fault-free execution a benchmark's
 // quality is measured against. Results are memoized per (benchmark,

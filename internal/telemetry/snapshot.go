@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// CounterSnapshot is one counter's point-in-time reading.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's point-in-time reading.
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's point-in-time reading: the
+// moments plus interpolated quantiles (all in the histogram's native
+// unit, nanoseconds by convention).
+type HistogramSnapshot struct {
+	Name   string  `json:"name"`
+	Count  int64   `json:"count"`
+	SumNs  int64   `json:"sum_ns"`
+	MinNs  int64   `json:"min_ns"`
+	MaxNs  int64   `json:"max_ns"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P95Ns  int64   `json:"p95_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+}
+
+// Snapshot is a consistent-enough point-in-time view of every
+// registered metric, sorted by name. Each individual metric is read
+// atomically; the set as a whole is not fenced against concurrent
+// recording, which is the usual monitoring trade.
+type Snapshot struct {
+	Enabled    bool                `json:"enabled"`
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Capture reads every registered metric. It is cheap enough to call
+// mid-run and safe to call concurrently with recording.
+func Capture() Snapshot {
+	reg.mu.Lock()
+	counters := make([]*Counter, 0, len(reg.counters))
+	for _, n := range sortedNames(reg.counters) {
+		counters = append(counters, reg.counters[n])
+	}
+	gauges := make([]*Gauge, 0, len(reg.gauges))
+	for _, n := range sortedNames(reg.gauges) {
+		gauges = append(gauges, reg.gauges[n])
+	}
+	hists := make([]*Histogram, 0, len(reg.histograms))
+	for _, n := range sortedNames(reg.histograms) {
+		hists = append(hists, reg.histograms[n])
+	}
+	reg.mu.Unlock()
+
+	s := Snapshot{
+		Enabled:    enabled.Load(),
+		Counters:   make([]CounterSnapshot, 0, len(counters)),
+		Gauges:     make([]GaugeSnapshot, 0, len(gauges)),
+		Histograms: make([]HistogramSnapshot, 0, len(hists)),
+	}
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: c.name, Value: c.Value()})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: g.name, Value: g.Value()})
+	}
+	for _, h := range hists {
+		s.Histograms = append(s.Histograms, h.snapshot())
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON, the same document
+// the /telemetryz endpoint serves and CI archives.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// fmtNs renders a nanosecond quantity with a unit a human can scan.
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// WriteText renders the snapshot as an aligned human-readable report:
+// counters, gauges, then histograms with their quantiles.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var b strings.Builder
+	state := "disabled"
+	if s.Enabled {
+		state = "enabled"
+	}
+	fmt.Fprintf(&b, "== telemetry (%s)\n", state)
+	if len(s.Counters) > 0 {
+		width := 0
+		for _, c := range s.Counters {
+			if len(c.Name) > width {
+				width = len(c.Name)
+			}
+		}
+		b.WriteString("-- counters\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "%-*s  %d\n", width, c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		width := 0
+		for _, g := range s.Gauges {
+			if len(g.Name) > width {
+				width = len(g.Name)
+			}
+		}
+		b.WriteString("-- gauges\n")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "%-*s  %d\n", width, g.Name, g.Value)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		width := 0
+		for _, h := range s.Histograms {
+			if len(h.Name) > width {
+				width = len(h.Name)
+			}
+		}
+		b.WriteString("-- histograms (count mean p50 p95 p99 max)\n")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(&b, "%-*s  n=%d  mean=%s  p50=%s  p95=%s  p99=%s  max=%s\n",
+				width, h.Name, h.Count, fmtNs(int64(h.MeanNs)),
+				fmtNs(h.P50Ns), fmtNs(h.P95Ns), fmtNs(h.P99Ns), fmtNs(h.MaxNs))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns the /telemetryz endpoint: a point-in-time Capture()
+// rendered as JSON, so scripts and CI scrape the same numbers the
+// -telemetry flag prints.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := Capture().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -154,7 +154,7 @@ type Sampler struct {
 // but not retained: a dense 2048-point factor is already 32 MB, and the
 // repository's hot sets (chip layouts) are an order of magnitude
 // smaller.
-var cholCache parallel.Cache[string, *mathx.Matrix]
+var cholCache = parallel.Cache[string, *mathx.Matrix]{Name: "variation.Cholesky"}
 
 const cholCachePoints = 2048
 

@@ -13,10 +13,11 @@ import (
 // packages listed here (stdlib is always allowed).
 var allowedDeps = map[string][]string{
 	"mathx":         {},
-	"parallel":      {},
+	"telemetry":     {},
+	"parallel":      {"telemetry"},
 	"tech":          {"mathx"},
 	"variation":     {"mathx", "parallel"},
-	"chip":          {"mathx", "parallel", "tech", "variation"},
+	"chip":          {"mathx", "parallel", "tech", "telemetry", "variation"},
 	"power":         {"chip"},
 	"sim":           {"mathx"},
 	"quality":       {},
@@ -35,7 +36,7 @@ var allowedDeps = map[string][]string{
 	"baseline":      {"chip", "power"},
 	"experiments": {"baseline", "chip", "core", "fault", "mathx", "parallel", "power",
 		"rms", "rms/bodytrack", "rms/btcmine", "rms/canneal", "rms/ferret",
-		"rms/hotspot", "rms/srad", "rms/xh264", "sim", "tech", "variation"},
+		"rms/hotspot", "rms/srad", "rms/xh264", "sim", "tech", "telemetry", "variation"},
 }
 
 func TestInternalLayering(t *testing.T) {
@@ -102,7 +103,7 @@ func TestInternalLayering(t *testing.T) {
 // Substrate purity: the numeric substrate and the device models must
 // never know about chips, benchmarks, or the framework.
 func TestSubstratesStayPure(t *testing.T) {
-	for _, pkg := range []string{"mathx", "tech", "variation", "quality", "sim", "fault", "workload"} {
+	for _, pkg := range []string{"mathx", "tech", "telemetry", "variation", "quality", "sim", "fault", "workload"} {
 		bp, err := build.ImportDir(filepath.Join("internal", pkg), 0)
 		if err != nil {
 			t.Fatal(err)

@@ -20,14 +20,37 @@ nsop() {
         | awk -v b="$1" '$1 ~ "^"b {print $3; exit}'
 }
 
+# Fail loudly if a benchmark produced no ns/op figure — a stale
+# benchmark name would otherwise flow NaN/empty ratios into the JSON.
+require_nsop() {
+    case "$2" in
+        *[0-9]*) ;;
+        *)
+            echo "bench_parallel: benchmark $1 reported no ns/op" \
+                 "(renamed or deleted in bench_test.go?)" >&2
+            exit 1
+            ;;
+    esac
+    case "$2" in
+        *[!0-9.]*)
+            echo "bench_parallel: benchmark $1 reported malformed ns/op '$2'" >&2
+            exit 1
+            ;;
+    esac
+}
+
 echo "benchmarking population draw (sequential)..." >&2
 pop_seq=$(nsop BenchmarkPopulationSequential)
+require_nsop BenchmarkPopulationSequential "$pop_seq"
 echo "benchmarking population draw (parallel)..." >&2
 pop_par=$(nsop BenchmarkPopulationParallel)
+require_nsop BenchmarkPopulationParallel "$pop_par"
 echo "benchmarking all-experiments driver (sequential)..." >&2
 all_seq=$(nsop BenchmarkRunAllSequential)
+require_nsop BenchmarkRunAllSequential "$all_seq"
 echo "benchmarking all-experiments driver (parallel)..." >&2
 all_par=$(nsop BenchmarkRunAll)
+require_nsop BenchmarkRunAll "$all_par"
 
 cores=$(go env GOMAXPROCS 2>/dev/null || echo 0)
 [ "$cores" -gt 0 ] 2>/dev/null || cores=$(getconf _NPROCESSORS_ONLN)

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Runs the full test suite with coverage and enforces a minimum total
+# statement coverage, so refactors cannot silently shed tests.
+#
+# Usage: scripts/coverage.sh [profile.out]
+#   COVER_MIN=70 scripts/coverage.sh    # override the floor (percent)
+set -eu
+cd "$(dirname "$0")/.."
+profile="${1:-coverage.out}"
+min="${COVER_MIN:-70}"
+
+go test -coverprofile="$profile" ./...
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+case "$total" in
+    *[0-9]*) ;;
+    *)
+        echo "coverage: could not read a total from $profile" >&2
+        exit 1
+        ;;
+esac
+
+echo "total statement coverage: ${total}% (floor: ${min}%)"
+if awk -v t="$total" -v m="$min" 'BEGIN { exit !(t+0 < m+0) }'; then
+    echo "coverage: ${total}% is below the ${min}% floor" >&2
+    exit 1
+fi
