@@ -37,7 +37,7 @@ func runExperiment(b *testing.B, id string) []*experiments.Table {
 	var tables []*experiments.Table
 	for i := 0; i < b.N; i++ {
 		var err error
-		tables, err = runner(experiments.DefaultConfig())
+		tables, err = runner(context.Background(), experiments.DefaultConfig())
 		if err != nil {
 			b.Fatal(err)
 		}

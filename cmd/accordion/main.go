@@ -3,7 +3,9 @@
 // Usage:
 //
 //	accordion [-seed N] [-chip N] [-chips N] [-j N] [-telemetry text|json]
+//	          [-trace FILE] [-manifest FILE] [-convergence FILE] [-progress]
 //	          [-pprof addr] [list | all | <experiment id>...]
+//	accordion -verify-manifest FILE
 //
 // Experiment ids correspond to the paper's tables and figures: fig1a,
 // fig1b, fig1c, fig2, fig4, fig5a, fig5b, fig6, fig7, table2, table3,
@@ -18,12 +20,26 @@
 // Observability: -telemetry text|json enables the process-wide
 // telemetry layer (pool utilization, cache hit rates, chip-draw
 // latency, per-runner stage timings) and dumps the report to stderr
-// after the run, so stdout stays a clean artifact stream. -pprof
-// <addr> serves net/http/pprof plus a /telemetryz JSON endpoint with
-// the same numbers for live scraping.
+// after the run, so stdout stays a clean artifact stream. -trace FILE
+// records hierarchical spans (run → runner → worker → chip draw /
+// front measurement / solver sweep) and exports them as Chrome
+// trace-event JSON loadable in Perfetto (https://ui.perfetto.dev).
+// -manifest FILE writes a run-provenance manifest: the full flag set,
+// toolchain versions, per-runner wall times, cache hit rates, and a
+// SHA-256 of every artifact the run wrote; -verify-manifest FILE
+// re-hashes a manifest's artifacts and exits non-zero on any mismatch
+// (paths resolve relative to the current directory, as recorded).
+// -convergence FILE enables the Monte-Carlo convergence monitor and
+// dumps streaming mean/CI95 statistics for the per-chip metrics;
+// -progress additionally prints a chips-done/ETA/CI line to stderr
+// every two seconds. -pprof <addr> serves net/http/pprof plus the
+// /telemetryz JSON endpoint and the /metricsz Prometheus text
+// endpoint for live scraping. With all of these off, the run is
+// byte-identical to one without the observability tier.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -32,28 +48,55 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"time"
 
+	"repro/internal/converge"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/provenance"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 func main() {
 	var (
-		seed      = flag.Int64("seed", 1, "master seed for workloads and fault streams")
-		chip      = flag.Int64("chip", 2014, "seed of the representative chip sample")
-		chips     = flag.Int("chips", 20, "Monte-Carlo population size (the paper samples 100)")
-		workers   = flag.Int("j", 0, "worker-pool width for experiments and model sweeps (0 = GOMAXPROCS)")
-		format    = flag.String("format", "text", "output format: text or csv")
-		outDir    = flag.String("out", "", "also write each experiment to <out>/<id>.<ext>")
-		telemMode = flag.String("telemetry", "", "dump a telemetry report to stderr after the run: text or json")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and /telemetryz on this address (e.g. localhost:6060)")
+		seed       = flag.Int64("seed", 1, "master seed for workloads and fault streams")
+		chip       = flag.Int64("chip", 2014, "seed of the representative chip sample")
+		chips      = flag.Int("chips", 20, "Monte-Carlo population size (the paper samples 100)")
+		workers    = flag.Int("j", 0, "worker-pool width for experiments and model sweeps (0 = GOMAXPROCS)")
+		format     = flag.String("format", "text", "output format: text or csv")
+		outDir     = flag.String("out", "", "also write each experiment to <out>/<id>.<ext>")
+		telemMode  = telemetry.ModeFlag(flag.CommandLine)
+		tracePath  = flag.String("trace", "", "record spans and write a Chrome trace-event JSON file (open in Perfetto)")
+		maniPath   = flag.String("manifest", "", "write a run-provenance manifest (flags, versions, wall times, artifact SHA-256s)")
+		convPath   = flag.String("convergence", "", "monitor Monte-Carlo convergence and write the statistics as JSON")
+		progress   = flag.Bool("progress", false, "print chips-done/ETA/CI-width progress lines to stderr during the run")
+		verifyMani = flag.String("verify-manifest", "", "re-hash a manifest's artifacts and exit non-zero on mismatch")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof, /telemetryz and /metricsz on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	fail := func(code int, format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "accordion: "+format+"\n", args...)
 		os.Exit(code)
 	}
+
+	if *verifyMani != "" {
+		man, err := provenance.Load(*verifyMani)
+		if err != nil {
+			fail(1, "%v", err)
+		}
+		if errs := man.VerifyArtifacts(); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "accordion: verify-manifest: %v\n", e)
+			}
+			fail(1, "%d of %d artifacts failed verification", len(errs), len(man.Artifacts))
+		}
+		fmt.Printf("manifest %s: %d artifacts verified\n", *verifyMani, len(man.Artifacts))
+		return
+	}
+
 	const maxChips = 100000
 	switch {
 	case *chips < 1:
@@ -64,18 +107,29 @@ func main() {
 		fail(2, "-j must be non-negative (0 = GOMAXPROCS), got %d", *workers)
 	case *format != "text" && *format != "csv":
 		fail(2, "unknown format %q (want text or csv)", *format)
-	case *telemMode != "" && *telemMode != "text" && *telemMode != "json":
-		fail(2, "unknown -telemetry mode %q (want text or json)", *telemMode)
 	}
 	parallel.SetWorkers(*workers)
 
-	if *telemMode != "" || *pprofAddr != "" {
+	reportTelemetry, err := telemetry.StartMode(*telemMode)
+	if err != nil {
+		fail(2, "%v", err)
+	}
+	// The manifest reports cache hit rates, which live in telemetry
+	// counters, so recording must be on even without a -telemetry dump.
+	if *pprofAddr != "" || *maniPath != "" {
 		telemetry.SetEnabled(true)
+	}
+	if *tracePath != "" {
+		trace.SetEnabled(true)
+	}
+	if *convPath != "" || *progress {
+		converge.SetEnabled(true)
 	}
 	if *pprofAddr != "" {
 		// net/http/pprof registered its handlers on the default mux at
-		// import; /telemetryz joins them there.
+		// import; /telemetryz and /metricsz join them there.
 		http.Handle("/telemetryz", telemetry.Handler())
+		http.Handle("/metricsz", telemetry.MetricsHandler())
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "accordion: pprof server: %v\n", err)
@@ -83,19 +137,15 @@ func main() {
 		}()
 	}
 	dumpTelemetry := func() {
-		if *telemMode == "" {
-			return
-		}
-		snap := telemetry.Capture()
-		var err error
-		if *telemMode == "json" {
-			err = snap.WriteJSON(os.Stderr)
-		} else {
-			err = snap.WriteText(os.Stderr)
-		}
-		if err != nil {
+		if err := reportTelemetry(os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "accordion: telemetry: %v\n", err)
 		}
+	}
+
+	var man *provenance.Manifest
+	if *maniPath != "" {
+		man = provenance.New("accordion")
+		man.SetFlags(flag.CommandLine)
 	}
 
 	cfg := experiments.Config{Seed: *seed, ChipSeed: *chip, Chips: *chips}
@@ -110,13 +160,86 @@ func main() {
 	if len(args) == 0 || (len(args) == 1 && args[0] == "all") {
 		args = experiments.IDs()
 	}
-	results, err := experiments.RunMany(context.Background(), cfg, args)
+
+	ctx := context.Background()
+	var root *trace.Span
+	if trace.On() {
+		root = trace.StartRoot("run").Arg("experiments", int64(len(args)))
+		ctx = trace.NewContext(ctx, root)
+	}
+
+	start := time.Now()
+	stopProgress := func() {}
+	if *progress {
+		done := make(chan struct{})
+		finished := make(chan struct{})
+		go func() {
+			defer close(finished)
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					fmt.Fprintf(os.Stderr, "accordion: %s\n", converge.ProgressLine(*chips, time.Since(start)))
+				}
+			}
+		}()
+		stopProgress = func() {
+			close(done)
+			<-finished
+			fmt.Fprintf(os.Stderr, "accordion: %s\n", converge.ProgressLine(*chips, time.Since(start)))
+		}
+	}
+
+	// finishObservability closes the run span and writes every enabled
+	// observability artifact; called on the error path too, so a failed
+	// run still leaves its trace, convergence report and manifest (with
+	// the error recorded) behind.
+	finishObservability := func(results []experiments.RunResult) {
+		stopProgress()
+		if root != nil {
+			root.End()
+		}
+		if *tracePath != "" {
+			if err := writeTrace(*tracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "accordion: trace: %v\n", err)
+			} else if man != nil {
+				if err := man.AddArtifactFile("trace.json", *tracePath); err != nil {
+					fmt.Fprintf(os.Stderr, "accordion: manifest: %v\n", err)
+				}
+			}
+		}
+		if *convPath != "" {
+			if err := writeConvergence(*convPath); err != nil {
+				fmt.Fprintf(os.Stderr, "accordion: convergence: %v\n", err)
+			} else if man != nil {
+				if err := man.AddArtifactFile("convergence.json", *convPath); err != nil {
+					fmt.Fprintf(os.Stderr, "accordion: manifest: %v\n", err)
+				}
+			}
+		}
+		if man != nil {
+			for _, r := range results {
+				man.AddRunner(r.ID, r.Elapsed, r.Err)
+			}
+			addCacheStats(man)
+			man.Finish()
+			if err := man.WriteFile(*maniPath); err != nil {
+				fmt.Fprintf(os.Stderr, "accordion: manifest: %v\n", err)
+			}
+		}
+	}
+
+	results, err := experiments.RunMany(ctx, cfg, args)
 	if err != nil {
 		fail(2, "%v (try `accordion list`)", err)
 	}
 	if err := experiments.FirstErr(results); err != nil {
-		// A partial run still has useful telemetry (which stage died,
-		// what the caches did first); dump before exiting.
+		// A partial run still has useful observability (which stage
+		// died, what the caches did first); emit before exiting.
+		finishObservability(results)
 		dumpTelemetry()
 		fail(1, "%v", err)
 	}
@@ -135,19 +258,34 @@ func main() {
 		}
 		return nil
 	}
+	ext := "txt"
+	if *format == "csv" {
+		ext = "csv"
+	}
 	for _, r := range results {
-		if err := render(os.Stdout, r.Tables); err != nil {
+		out := io.Writer(os.Stdout)
+		var buf *bytes.Buffer
+		if man != nil {
+			// Render through a buffer so the manifest can hash exactly
+			// the bytes stdout received; the stream itself is unchanged.
+			buf = &bytes.Buffer{}
+			out = buf
+		}
+		if err := render(out, r.Tables); err != nil {
 			fail(2, "%v", err)
+		}
+		if buf != nil {
+			if _, err := os.Stdout.Write(buf.Bytes()); err != nil {
+				fail(1, "%v", err)
+			}
+			man.AddArtifactBytes("stdout:"+r.ID, buf.Bytes())
 		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				fail(1, "%v", err)
 			}
-			ext := "txt"
-			if *format == "csv" {
-				ext = "csv"
-			}
-			f, err := os.Create(filepath.Join(*outDir, r.ID+"."+ext))
+			path := filepath.Join(*outDir, r.ID+"."+ext)
+			f, err := os.Create(path)
 			if err != nil {
 				fail(1, "%v", err)
 			}
@@ -157,7 +295,74 @@ func main() {
 			if err := f.Close(); err != nil {
 				fail(1, "%v", err)
 			}
+			if man != nil {
+				if err := man.AddArtifactFile(r.ID+"."+ext, path); err != nil {
+					fail(1, "%v", err)
+				}
+			}
 		}
 	}
+	finishObservability(results)
 	dumpTelemetry()
+}
+
+// writeTrace exports everything the span arena recorded as Chrome
+// trace-event JSON.
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	if n := trace.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "accordion: trace: arena overflow dropped %d events\n", n)
+	}
+	return f.Close()
+}
+
+// writeConvergence dumps the Monte-Carlo convergence statistics.
+func writeConvergence(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := converge.Capture().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// addCacheStats harvests the memo caches' hit/miss counters from the
+// telemetry registry (cache.<name>.{hits,misses}) into the manifest.
+func addCacheStats(man *provenance.Manifest) {
+	snap := telemetry.Capture()
+	hits := map[string]int64{}
+	misses := map[string]int64{}
+	for _, c := range snap.Counters {
+		if name, ok := strings.CutPrefix(c.Name, "cache."); ok {
+			switch {
+			case strings.HasSuffix(name, ".hits"):
+				hits[strings.TrimSuffix(name, ".hits")] = c.Value
+			case strings.HasSuffix(name, ".misses"):
+				misses[strings.TrimSuffix(name, ".misses")] = c.Value
+			}
+		}
+	}
+	names := make([]string, 0, len(hits))
+	for name := range hits {
+		names = append(names, name)
+	}
+	for name := range misses {
+		if _, ok := hits[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		man.AddCache(name, hits[name], misses[name])
+	}
 }

@@ -18,18 +18,20 @@ import (
 
 	"repro/internal/chip"
 	"repro/internal/mathx"
+	"repro/internal/telemetry"
 	"repro/internal/variation"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 2014, "population seed")
-		n        = flag.Int("n", 1, "number of chips to sample")
-		verbose  = flag.Bool("v", false, "per-cluster detail for the first chip")
-		saveFile = flag.String("save", "", "write the first chip as JSON to this path")
-		loadFile = flag.String("load", "", "analyze a previously saved chip instead of sampling")
-		fieldPGM = flag.String("field", "", "render one Vth variation field to this PGM path")
+		seed      = flag.Int64("seed", 2014, "population seed")
+		n         = flag.Int("n", 1, "number of chips to sample")
+		verbose   = flag.Bool("v", false, "per-cluster detail for the first chip")
+		saveFile  = flag.String("save", "", "write the first chip as JSON to this path")
+		loadFile  = flag.String("load", "", "analyze a previously saved chip instead of sampling")
+		fieldPGM  = flag.String("field", "", "render one Vth variation field to this PGM path")
+		telemMode = telemetry.ModeFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -37,6 +39,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chipgen: %v\n", err)
 		os.Exit(1)
 	}
+	reportTelemetry, err := telemetry.StartMode(*telemMode)
+	if err != nil {
+		fail(err)
+	}
+	defer reportTelemetry(os.Stderr)
 	var pop []*chip.Chip
 	if *loadFile != "" {
 		f, err := os.Open(*loadFile)

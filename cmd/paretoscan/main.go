@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/power"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 		chipSeed  = flag.Int64("chip", 2014, "chip sample seed")
 		qfloor    = flag.Float64("qfloor", 0, "minimum relative quality (0 disables)")
 		clusterG  = flag.Bool("cluster", false, "engage whole clusters (the paper's Section 5.1 granularity)")
+		telemMode = telemetry.ModeFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -38,6 +40,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paretoscan: %v\n", err)
 		os.Exit(1)
 	}
+	reportTelemetry, err := telemetry.StartMode(*telemMode)
+	if err != nil {
+		fail(err)
+	}
+	defer reportTelemetry(os.Stderr)
 
 	var flavor core.Flavor
 	switch *flavorStr {

@@ -18,10 +18,12 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/converge"
 	"repro/internal/mathx"
 	"repro/internal/parallel"
 	"repro/internal/tech"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 	"repro/internal/variation"
 )
 
@@ -243,6 +245,20 @@ func (f *Factory) Sample(seed int64) *Chip {
 	return ch
 }
 
+// SampleCtx is Sample under the observability tier: while tracing is
+// enabled it records a chip.draw span (a child of ctx's current span,
+// so population draws nest under their pool worker), and while
+// convergence monitoring is enabled it streams the drawn chip's
+// summary metrics into the Monte-Carlo convergence estimators. The
+// chip returned is bit-identical to Sample(seed) regardless.
+func (f *Factory) SampleCtx(ctx context.Context, seed int64) *Chip {
+	sp := trace.StartFrom(ctx, "chip.draw").Arg("seed", seed)
+	ch := f.Sample(seed)
+	sp.End()
+	ch.ObserveConvergence()
+	return ch
+}
+
 // Population draws n chips with seeds derived from seed. The draws fan
 // out across parallel.Workers() goroutines; chip i's seed depends only
 // on (seed, i), so the population is bit-identical to a sequential
@@ -253,10 +269,13 @@ func (f *Factory) Population(seed int64, n int) []*Chip {
 }
 
 // PopulationCtx is Population with cancellation: it returns early with
-// the context's error if ctx is cancelled mid-draw.
+// the context's error if ctx is cancelled mid-draw. Each draw goes
+// through SampleCtx, so a traced run shows one chip.draw span per chip
+// under the pool worker that drew it, and an enabled convergence
+// monitor sees every chip of the population.
 func (f *Factory) PopulationCtx(ctx context.Context, seed int64, n int) ([]*Chip, error) {
-	return parallel.Map(ctx, n, func(i int) (*Chip, error) {
-		return f.Sample(mathx.SplitSeed(seed, int64(i))), nil
+	return parallel.MapCtx(ctx, n, func(wctx context.Context, i int) (*Chip, error) {
+		return f.SampleCtx(wctx, mathx.SplitSeed(seed, int64(i))), nil
 	})
 }
 
@@ -453,4 +472,55 @@ func (ch *Chip) SetFreq(cores []int, vdd, perr float64) float64 {
 		return 0
 	}
 	return f
+}
+
+// Summary bundles the chip-level metrics the Monte-Carlo convergence
+// monitor tracks per drawn chip, all evaluated at the chip's own
+// VddNTV: the fastest core's fmax, the operating voltage itself, the
+// whole-chip power with every core at its safe frequency, and the mean
+// per-cycle timing-error probability when every core is clocked at the
+// population-relevant median core fmax.
+type Summary struct {
+	FmaxGHz float64 // fastest core's maximum frequency at VddNTV
+	VddMINV float64 // chip-wide VddNTV (max per-cluster VddMIN)
+	PowerW  float64 // sum of per-core power at each core's safe frequency
+	ErrRate float64 // mean CorePerr at the median core's fmax
+}
+
+// SummaryMetrics computes the chip's Summary. It walks every core
+// three times; callers on hot paths should gate it (ObserveConvergence
+// does).
+func (ch *Chip) SummaryMetrics() Summary {
+	vdd := ch.VddNTV()
+	n := len(ch.Cores)
+	fmaxes := make([]float64, n)
+	s := Summary{VddMINV: vdd}
+	for i := 0; i < n; i++ {
+		fmaxes[i] = ch.CoreFmax(i, vdd)
+		if fmaxes[i] > s.FmaxGHz {
+			s.FmaxGHz = fmaxes[i]
+		}
+		s.PowerW += ch.CorePower(i, vdd, ch.CoreSafeFreq(i, vdd))
+	}
+	sort.Float64s(fmaxes)
+	median := fmaxes[n/2]
+	for i := 0; i < n; i++ {
+		s.ErrRate += ch.CorePerr(i, vdd, median)
+	}
+	s.ErrRate /= float64(n)
+	return s
+}
+
+// ObserveConvergence streams the chip's Summary into the Monte-Carlo
+// convergence monitor. While monitoring is disabled (the default) this
+// is four atomic loads and no metric derivation.
+func (ch *Chip) ObserveConvergence() {
+	if !converge.On() {
+		return
+	}
+	s := ch.SummaryMetrics()
+	converge.Observe("chip.fmax_ghz", "GHz", s.FmaxGHz)
+	converge.Observe("chip.vddmin_v", "V", s.VddMINV)
+	converge.Observe("chip.power_w", "W", s.PowerW)
+	converge.Observe("chip.err_rate", "p/cycle", s.ErrRate)
 }

@@ -1,0 +1,87 @@
+package chip
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/converge"
+)
+
+// TestPopulationConvergence: a fixed-seed population streamed through
+// SampleCtx reports CI95 half-widths for all four chip metrics, and
+// the estimators see exactly one observation per chip.
+func TestPopulationConvergence(t *testing.T) {
+	defer converge.SetEnabled(true)()
+	converge.Reset()
+	f, err := NewFactory(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	if _, err := f.PopulationCtx(context.Background(), 2014, n); err != nil {
+		t.Fatal(err)
+	}
+	snap := converge.Capture()
+	want := map[string]bool{
+		"chip.fmax_ghz": false,
+		"chip.vddmin_v": false,
+		"chip.power_w":  false,
+		"chip.err_rate": false,
+	}
+	for _, s := range snap.Series {
+		if _, ok := want[s.Name]; !ok {
+			continue
+		}
+		want[s.Name] = true
+		if s.Count != n {
+			t.Errorf("%s: count = %d, want %d", s.Name, s.Count, n)
+		}
+		if s.CI95 <= 0 {
+			t.Errorf("%s: ci95 half-width = %v, want > 0", s.Name, s.CI95)
+		}
+		if s.Mean <= 0 {
+			t.Errorf("%s: mean = %v, want > 0", s.Name, s.Mean)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("metric %s missing from convergence capture", name)
+		}
+	}
+}
+
+// TestSampleCtxIdentical: the observability wrapper returns the same
+// chip bits as the plain Sample.
+func TestSampleCtxIdentical(t *testing.T) {
+	defer converge.SetEnabled(true)()
+	f, err := NewFactory(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f.Sample(7)
+	b := f.SampleCtx(context.Background(), 7)
+	if a.VddNTV() != b.VddNTV() || len(a.Cores) != len(b.Cores) {
+		t.Fatal("SampleCtx chip differs from Sample chip")
+	}
+	for i := range a.Cores {
+		if a.Cores[i] != b.Cores[i] {
+			t.Fatalf("core %d differs between Sample and SampleCtx", i)
+		}
+	}
+}
+
+// TestSummaryMetricsDeterministic: same seed, same summary.
+func TestSummaryMetricsDeterministic(t *testing.T) {
+	f, err := NewFactory(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := f.Sample(42).SummaryMetrics()
+	s2 := f.Sample(42).SummaryMetrics()
+	if s1 != s2 {
+		t.Fatalf("summaries differ: %+v vs %+v", s1, s2)
+	}
+	if s1.FmaxGHz <= 0 || s1.VddMINV <= 0 || s1.PowerW <= 0 || s1.ErrRate < 0 {
+		t.Fatalf("summary not sane: %+v", s1)
+	}
+}

@@ -1,0 +1,14 @@
+package converge
+
+import "repro/internal/telemetry"
+
+// The converge → telemetry edge lives in this one file: every series
+// mirrors its running count, mean, and CI95 half-width into telemetry
+// gauges so /telemetryz and /metricsz expose convergence live. Gauge
+// values are integers, so the float statistics are scaled by 1e6
+// (hence the _micro suffixes).
+func init() {
+	gaugeSetter = func(series, kind string) interface{ Set(int64) } {
+		return telemetry.GetGauge("converge." + series + "." + kind)
+	}
+}

@@ -1,0 +1,19 @@
+package converge
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// telemetryGaugeValue reads a named gauge out of a telemetry capture.
+func telemetryGaugeValue(t *testing.T, name string) int64 {
+	t.Helper()
+	for _, g := range telemetry.Capture().Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	t.Fatalf("gauge %q missing from telemetry capture", name)
+	return 0
+}

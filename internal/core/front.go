@@ -9,6 +9,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/parallel"
 	"repro/internal/rms"
+	"repro/internal/telemetry/trace"
 )
 
 // QualityFront is the measured quality-vs-problem-size characteristic
@@ -45,7 +46,22 @@ type QualityModel struct {
 // which the -j flag controls) with results collected by cell index —
 // the model is identical to a sequential scan.
 func MeasureFronts(b rms.Benchmark, seed int64) (*QualityModel, error) {
+	return MeasureFrontsCtx(context.Background(), b, seed)
+}
+
+// MeasureFrontsCtx is MeasureFronts under the tracing tier: the whole
+// measurement records a core.front span (child of ctx's span), the
+// reference execution a core.front.reference stage, and every
+// (scenario, input) profiling cell its own core.front.cell span under
+// the pool worker that ran it.
+func MeasureFrontsCtx(ctx context.Context, b rms.Benchmark, seed int64) (*QualityModel, error) {
+	fsp := trace.StartFrom(ctx, "core.front").ArgStr("bench", b.Name())
+	defer fsp.End()
+	ctx = trace.NewContext(ctx, fsp)
+
+	rsp := trace.Child(fsp, "core.front.reference")
 	ref, err := rms.Reference(b, seed)
+	rsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: reference run: %w", err)
 	}
@@ -58,8 +74,10 @@ func MeasureFronts(b rms.Benchmark, seed int64) (*QualityModel, error) {
 		{"drop-1/2", fault.DropHalf()},
 	}
 	sweep := b.Sweep()
-	qualities, err := parallel.Map(context.Background(), len(scenarios)*len(sweep), func(i int) (float64, error) {
+	qualities, err := parallel.MapCtx(ctx, len(scenarios)*len(sweep), func(wctx context.Context, i int) (float64, error) {
 		sc, in := scenarios[i/len(sweep)], sweep[i%len(sweep)]
+		csp := trace.StartFrom(wctx, "core.front.cell").ArgStr("scenario", sc.name)
+		defer csp.End()
 		res, err := b.Run(in, b.DefaultThreads(), sc.plan, seed)
 		if err != nil {
 			return 0, fmt.Errorf("core: %s %s at input %g: %w", b.Name(), sc.name, in, err)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/rms"
 	"repro/internal/sim"
 	"repro/internal/tech"
+	"repro/internal/telemetry/trace"
 )
 
 // OperatingPoint is one point of an iso-execution-time pareto front
@@ -288,8 +289,21 @@ func (s *Solver) Solve(input float64, flavor Flavor) (OperatingPoint, error) {
 // across parallel.Workers() goroutines with results in sweep order,
 // identical to a sequential scan.
 func (s *Solver) Front(flavor Flavor) ([]OperatingPoint, error) {
+	return s.FrontCtx(context.Background(), flavor)
+}
+
+// FrontCtx is Front under the tracing tier: the sweep records a
+// core.solver.front span and each solved input a core.solver.solve
+// span under the pool worker that ran it.
+func (s *Solver) FrontCtx(ctx context.Context, flavor Flavor) ([]OperatingPoint, error) {
+	fsp := trace.StartFrom(ctx, "core.solver.front").
+		ArgStr("bench", s.Bench.Name()).ArgStr("flavor", flavor.String())
+	defer fsp.End()
+	ctx = trace.NewContext(ctx, fsp)
 	sweep := s.Bench.Sweep()
-	return parallel.Map(context.Background(), len(sweep), func(i int) (OperatingPoint, error) {
+	return parallel.MapCtx(ctx, len(sweep), func(wctx context.Context, i int) (OperatingPoint, error) {
+		ssp := trace.StartFrom(wctx, "core.solver.solve")
+		defer ssp.End()
 		return s.Solve(sweep[i], flavor)
 	})
 }

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -165,10 +166,13 @@ var fronts = parallel.Cache[frontKey, *core.QualityModel]{Name: "experiments.Mea
 // MeasuredFronts returns core.MeasureFronts(b, seed), memoized per
 // (benchmark, seed): the profiling sweep behind Figures 2 and 4 is the
 // single most expensive step experiments share, and concurrent runners
-// wait for one in-flight measurement instead of duplicating it.
-func MeasuredFronts(b rms.Benchmark, seed int64) (*core.QualityModel, error) {
+// wait for one in-flight measurement instead of duplicating it. The
+// ctx of whichever caller performs the actual measurement carries its
+// trace span, so the core.front spans attribute to that runner;
+// memo-hit callers pay nothing and record nothing.
+func MeasuredFronts(ctx context.Context, b rms.Benchmark, seed int64) (*core.QualityModel, error) {
 	return fronts.Do(frontKey{b.Name(), seed}, func() (*core.QualityModel, error) {
-		return core.MeasureFronts(b, seed)
+		return core.MeasureFrontsCtx(ctx, b, seed)
 	})
 }
 
@@ -183,8 +187,11 @@ func ResetCaches() {
 	variation.ResetFactorizationCache()
 }
 
-// Runner is the signature every experiment driver shares.
-type Runner func(Config) ([]*Table, error)
+// Runner is the signature every experiment driver shares. The context
+// carries cancellation and, under the tracing tier, the runner's trace
+// span, so spans opened inside the driver (chip draws, front
+// measurements, solver sweeps) nest under it.
+type Runner func(ctx context.Context, cfg Config) ([]*Table, error)
 
 // Registry maps experiment ids to drivers.
 func Registry() map[string]Runner {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ func run(t *testing.T, id string) []*Table {
 	if !ok {
 		t.Fatalf("experiment %s not registered", id)
 	}
-	tables, err := r(DefaultConfig())
+	tables, err := r(context.Background(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

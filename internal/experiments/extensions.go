@@ -21,7 +21,7 @@ import (
 // conforming to weak scaling — it names bitcoin mining — would benefit
 // most from Accordion. This experiment runs the proof-of-work kernel
 // through the full Accordion pipeline next to canneal.
-func Weakscale(cfg Config) ([]*Table, error) {
+func Weakscale(ctx context.Context, cfg Config) ([]*Table, error) {
 	rep, err := RepresentativeChip(cfg)
 	if err != nil {
 		return nil, err
@@ -29,7 +29,7 @@ func Weakscale(cfg Config) ([]*Table, error) {
 	pm := power.NewModel(rep)
 	miner := btcmine.New()
 
-	t, err := paretoTable("weakscale", miner, cfg)
+	t, err := paretoTable(ctx, "weakscale", miner, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -38,7 +38,7 @@ func Weakscale(cfg Config) ([]*Table, error) {
 	// with the expansion (q ~ problem size, no saturation), whereas the
 	// RMS benchmarks' quality saturates. Quantify both at the deepest
 	// Expand sweep point.
-	qmM, err := MeasuredFronts(miner, cfg.Seed)
+	qmM, err := MeasuredFronts(ctx, miner, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +50,7 @@ func Weakscale(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	qmC, err := MeasuredFronts(cb, cfg.Seed)
+	qmC, err := MeasuredFronts(ctx, cb, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +59,7 @@ func Weakscale(cfg Config) ([]*Table, error) {
 		return nil, err
 	}
 	deepQuality := func(s *core.Solver) (ps, q float64, err error) {
-		front, err := s.Front(core.Safe)
+		front, err := s.FrontCtx(ctx, core.Safe)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -85,7 +85,7 @@ func Weakscale(cfg Config) ([]*Table, error) {
 // (thermal sinusoids plus an aging ramp) and the core assignment either
 // stays fixed (the paper's whole-execution allocation) or is re-solved
 // whenever the engaged set misses the required compute rate.
-func Dynamic(cfg Config) ([]*Table, error) {
+func Dynamic(ctx context.Context, cfg Config) ([]*Table, error) {
 	rep, err := RepresentativeChip(cfg)
 	if err != nil {
 		return nil, err
@@ -131,7 +131,7 @@ func Dynamic(cfg Config) ([]*Table, error) {
 // methodology (Table 2's "sample size: 100 chips"): the distribution of
 // VddNTV, the STV baseline, and the Still-point efficiency gain across
 // chip samples.
-func Population(cfg Config) ([]*Table, error) {
+func Population(ctx context.Context, cfg Config) ([]*Table, error) {
 	factory, err := chip.NewFactory(chip.DefaultConfig())
 	if err != nil {
 		return nil, err
@@ -144,7 +144,7 @@ func Population(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	qm, err := MeasuredFronts(cb, cfg.Seed)
+	qm, err := MeasuredFronts(ctx, cb, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -154,8 +154,8 @@ func Population(cfg Config) ([]*Table, error) {
 	type chipStats struct {
 		vddNTV, nstv, eff, fGHz float64
 	}
-	stats, err := parallel.Map(context.Background(), n, func(i int) (chipStats, error) {
-		ch := factory.Sample(mathx.SplitSeed(cfg.ChipSeed, int64(i)))
+	stats, err := parallel.MapCtx(ctx, n, func(wctx context.Context, i int) (chipStats, error) {
+		ch := factory.SampleCtx(wctx, mathx.SplitSeed(cfg.ChipSeed, int64(i)))
 		pm := power.NewModel(ch)
 		solver, err := core.NewSolver(ch, pm, cb, qm)
 		if err != nil {
@@ -199,7 +199,7 @@ func Population(cfg Config) ([]*Table, error) {
 // with the proximity of the near-threshold Vdd to Vth": the Still-point
 // iso-execution-time efficiency as the designated operating voltage
 // rises from the chip's VddNTV toward super-threshold.
-func VddSweep(cfg Config) ([]*Table, error) {
+func VddSweep(ctx context.Context, cfg Config) ([]*Table, error) {
 	rep, err := RepresentativeChip(cfg)
 	if err != nil {
 		return nil, err
@@ -209,7 +209,7 @@ func VddSweep(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	qm, err := MeasuredFronts(cb, cfg.Seed)
+	qm, err := MeasuredFronts(ctx, cb, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +246,7 @@ func VddSweep(cfg Config) ([]*Table, error) {
 // WorkProfile is compared with the CPI and miss rates measured by
 // running the kernel's reference memory mix through Table 2's cache
 // hierarchy at the NTV and STV frequencies.
-func CPI(cfg Config) ([]*Table, error) {
+func CPI(ctx context.Context, cfg Config) ([]*Table, error) {
 	all, err := AllBenchmarks()
 	if err != nil {
 		return nil, err
@@ -285,7 +285,7 @@ func CPI(cfg Config) ([]*Table, error) {
 // paper's claim — Drop conservatively bounds the benign error
 // manifestations — must hold (or visibly break into the "excessive
 // corruption" bin) for every kernel.
-func CorruptionWide(cfg Config) ([]*Table, error) {
+func CorruptionWide(ctx context.Context, cfg Config) ([]*Table, error) {
 	all, err := AllBenchmarks()
 	if err != nil {
 		return nil, err
@@ -356,7 +356,7 @@ func CorruptionWide(cfg Config) ([]*Table, error) {
 // A fixed 256-task job runs on 64 data cores while the control-core
 // count sweeps; per-mailbox housekeeping work makes undersized CC
 // provisioning stretch the polling loop and the makespan.
-func CCRatio(cfg Config) ([]*Table, error) {
+func CCRatio(ctx context.Context, cfg Config) ([]*Table, error) {
 	rep, err := RepresentativeChip(cfg)
 	if err != nil {
 		return nil, err

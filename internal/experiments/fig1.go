@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/tech"
@@ -9,7 +10,7 @@ import (
 // Fig1a regenerates Figure 1a: power, frequency and energy per
 // operation as a function of Vdd, with the STC->NTC improvement bands
 // the paper quotes (10-50x power, 5-10x frequency, 2-5x energy/op).
-func Fig1a(cfg Config) ([]*Table, error) {
+func Fig1a(ctx context.Context, cfg Config) ([]*Table, error) {
 	tp := tech.Default11nm()
 	t := &Table{
 		ID:      "fig1a",
@@ -43,7 +44,7 @@ func Fig1a(cfg Config) ([]*Table, error) {
 // Fig1b regenerates Figure 1b: the variation-induced timing error rate
 // as a function of Vdd in the 0.45-0.60V window at the nominal NTV
 // frequency.
-func Fig1b(cfg Config) ([]*Table, error) {
+func Fig1b(ctx context.Context, cfg Config) ([]*Table, error) {
 	tp := tech.Default11nm()
 	t := &Table{
 		ID:      "fig1b",
@@ -59,7 +60,7 @@ func Fig1b(cfg Config) ([]*Table, error) {
 
 // Fig1c regenerates Figure 1c: the worst-case timing guardband in
 // percent versus Vdd for the 22nm and 11nm nodes.
-func Fig1c(cfg Config) ([]*Table, error) {
+func Fig1c(ctx context.Context, cfg Config) ([]*Table, error) {
 	p22, p11 := tech.Default22nm(), tech.Default11nm()
 	t := &Table{
 		ID:      "fig1c",

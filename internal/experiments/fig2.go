@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/rms"
@@ -9,8 +10,8 @@ import (
 // qualityFrontTable renders one benchmark's Figure 2/4 panel: relative
 // quality (normalized to the default-input quality) versus relative
 // problem size under Default, Drop 1/4 and Drop 1/2.
-func qualityFrontTable(id string, b rms.Benchmark, cfg Config) (*Table, error) {
-	qm, err := MeasuredFronts(b, cfg.Seed)
+func qualityFrontTable(ctx context.Context, id string, b rms.Benchmark, cfg Config) (*Table, error) {
+	qm, err := MeasuredFronts(ctx, b, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -40,14 +41,14 @@ func qualityFrontTable(id string, b rms.Benchmark, cfg Config) (*Table, error) {
 
 // Fig2 regenerates Figure 2: quality of computing versus problem size
 // for canneal and hotspot under Default, Drop 1/4 and Drop 1/2.
-func Fig2(cfg Config) ([]*Table, error) {
+func Fig2(ctx context.Context, cfg Config) ([]*Table, error) {
 	var out []*Table
 	for _, name := range []string{"canneal", "hotspot"} {
 		b, err := BenchmarkByName(name)
 		if err != nil {
 			return nil, err
 		}
-		t, err := qualityFrontTable("fig2", b, cfg)
+		t, err := qualityFrontTable(ctx, "fig2", b, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -58,14 +59,14 @@ func Fig2(cfg Config) ([]*Table, error) {
 
 // Fig4 regenerates Figure 4: the same fronts for ferret, bodytrack,
 // x264 and srad.
-func Fig4(cfg Config) ([]*Table, error) {
+func Fig4(ctx context.Context, cfg Config) ([]*Table, error) {
 	var out []*Table
 	for _, name := range []string{"ferret", "bodytrack", "x264", "srad"} {
 		b, err := BenchmarkByName(name)
 		if err != nil {
 			return nil, err
 		}
-		t, err := qualityFrontTable("fig4", b, cfg)
+		t, err := qualityFrontTable(ctx, "fig4", b, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chip"
@@ -9,12 +10,12 @@ import (
 
 // Fig5a regenerates Figure 5a: the histogram of per-cluster VddMIN for
 // the representative chip, plus the population-level range.
-func Fig5a(cfg Config) ([]*Table, error) {
+func Fig5a(ctx context.Context, cfg Config) ([]*Table, error) {
 	f, err := chip.NewFactory(chip.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
-	rep := f.Sample(cfg.ChipSeed)
+	rep := f.SampleCtx(ctx, cfg.ChipSeed)
 	vmins := rep.ClusterVddMINs()
 	counts, edges := mathx.Histogram(vmins, 0.44, 0.60, 8)
 	t := &Table{
@@ -30,7 +31,10 @@ func Fig5a(cfg Config) ([]*Table, error) {
 		fmt.Sprintf("per-cluster VddMIN range %.3f-%.3fV (paper: 0.46-0.58V); chip-wide VddNTV=%.3fV", lo, hi, rep.VddNTV()))
 
 	// Population statistics across the Monte-Carlo chips.
-	pop := f.Population(cfg.ChipSeed, cfg.Chips)
+	pop, err := f.PopulationCtx(ctx, cfg.ChipSeed, cfg.Chips)
+	if err != nil {
+		return nil, err
+	}
 	var all []float64
 	for _, ch := range pop {
 		all = append(all, ch.ClusterVddMINs()...)
@@ -45,7 +49,7 @@ func Fig5a(cfg Config) ([]*Table, error) {
 // frequency for the slowest core of each cluster at VddNTV. The table
 // reports, per cluster, the frequencies at the landmark error rates;
 // together they trace the 36 curves of the figure.
-func Fig5b(cfg Config) ([]*Table, error) {
+func Fig5b(ctx context.Context, cfg Config) ([]*Table, error) {
 	rep, err := RepresentativeChip(cfg)
 	if err != nil {
 		return nil, err

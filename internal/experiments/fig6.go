@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -11,13 +12,13 @@ import (
 // paretoTable renders one benchmark's Figure 6/7 row: the Safe and
 // Speculative iso-execution-time fronts with the four normalized
 // y-axes (MIPS/W, power, problem size, quality) against NNTV/NSTV.
-func paretoTable(id string, b rms.Benchmark, cfg Config) (*Table, error) {
+func paretoTable(ctx context.Context, id string, b rms.Benchmark, cfg Config) (*Table, error) {
 	rep, err := RepresentativeChip(cfg)
 	if err != nil {
 		return nil, err
 	}
 	pm := power.NewModel(rep)
-	qm, err := MeasuredFronts(b, cfg.Seed)
+	qm, err := MeasuredFronts(ctx, b, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -32,7 +33,7 @@ func paretoTable(id string, b rms.Benchmark, cfg Config) (*Table, error) {
 			"N/Nstv", "MIPS/W", "power", "quality", "limit"},
 	}
 	for _, flavor := range []core.Flavor{core.Safe, core.Speculative} {
-		front, err := solver.Front(flavor)
+		front, err := solver.FrontCtx(ctx, flavor)
 		if err != nil {
 			return nil, err
 		}
@@ -53,14 +54,14 @@ func paretoTable(id string, b rms.Benchmark, cfg Config) (*Table, error) {
 
 // Fig6 regenerates Figure 6: iso-execution-time pareto fronts for
 // canneal, ferret, bodytrack and x264.
-func Fig6(cfg Config) ([]*Table, error) {
+func Fig6(ctx context.Context, cfg Config) ([]*Table, error) {
 	var out []*Table
 	for _, name := range []string{"canneal", "ferret", "bodytrack", "x264"} {
 		b, err := BenchmarkByName(name)
 		if err != nil {
 			return nil, err
 		}
-		t, err := paretoTable("fig6", b, cfg)
+		t, err := paretoTable(ctx, "fig6", b, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -70,14 +71,14 @@ func Fig6(cfg Config) ([]*Table, error) {
 }
 
 // Fig7 regenerates Figure 7: the same fronts for hotspot and srad.
-func Fig7(cfg Config) ([]*Table, error) {
+func Fig7(ctx context.Context, cfg Config) ([]*Table, error) {
 	var out []*Table
 	for _, name := range []string{"hotspot", "srad"} {
 		b, err := BenchmarkByName(name)
 		if err != nil {
 			return nil, err
 		}
-		t, err := paretoTable("fig7", b, cfg)
+		t, err := paretoTable(ctx, "fig7", b, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +90,7 @@ func Fig7(cfg Config) ([]*Table, error) {
 // Headline regenerates the paper's summary claims: the energy-
 // efficiency gain at iso-execution time per benchmark (Section 9's
 // 1.61-1.87x) and the speculative frequency gain (Section 6.3's 8-41%).
-func Headline(cfg Config) ([]*Table, error) {
+func Headline(ctx context.Context, cfg Config) ([]*Table, error) {
 	rep, err := RepresentativeChip(cfg)
 	if err != nil {
 		return nil, err
@@ -108,7 +109,7 @@ func Headline(cfg Config) ([]*Table, error) {
 	minGain, maxGain := 1e9, -1e9
 	minEff, maxEff := 1e9, -1e9
 	for _, b := range all {
-		qm, err := MeasuredFronts(b, cfg.Seed)
+		qm, err := MeasuredFronts(ctx, b, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -17,7 +18,7 @@ func TestGoldenArtifacts(t *testing.T) {
 	for _, id := range ids {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			tables, err := reg[id](DefaultConfig())
+			tables, err := reg[id](context.Background(), DefaultConfig())
 			if err != nil {
 				t.Fatal(err)
 			}

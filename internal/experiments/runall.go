@@ -4,17 +4,21 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // RunResult is one experiment's outcome under RunMany: the tables it
-// produced, or the error that stopped it.
+// produced, or the error that stopped it, plus the runner's wall time
+// (for the provenance manifest's per-runner accounting).
 type RunResult struct {
-	ID     string
-	Tables []*Table
-	Err    error
+	ID      string
+	Tables  []*Table
+	Err     error
+	Elapsed time.Duration
 }
 
 // RunMany executes the named experiments concurrently on the parallel
@@ -24,6 +28,11 @@ type RunResult struct {
 // collected per experiment in RunResult.Err rather than cancelling
 // siblings; the returned error is non-nil only for an unknown id or a
 // context cancellation.
+//
+// Under the tracing tier each runner records an experiments.run.<id>
+// span (child of the ctx span, in the worker's lane) and passes it
+// down through its context, so chip draws, front measurements and
+// solver sweeps nest run → runner → stage in the exported trace.
 func RunMany(ctx context.Context, cfg Config, ids []string) ([]RunResult, error) {
 	reg := Registry()
 	for _, id := range ids {
@@ -31,16 +40,25 @@ func RunMany(ctx context.Context, cfg Config, ids []string) ([]RunResult, error)
 			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 		}
 	}
-	return parallel.Map(ctx, len(ids), func(i int) (RunResult, error) {
+	return parallel.MapCtx(ctx, len(ids), func(wctx context.Context, i int) (RunResult, error) {
 		// Per-runner stage timing lands in experiments.run.<id>; the
 		// span name is only built while telemetry records.
 		var sp telemetry.Span
 		if telemetry.On() {
 			sp = telemetry.StartSpan("experiments.run." + ids[i])
 		}
-		tables, err := reg[ids[i]](cfg)
+		rctx := wctx
+		var tsp *trace.Span
+		if trace.On() {
+			tsp = trace.StartFrom(wctx, "experiments.run."+ids[i])
+			rctx = trace.NewContext(wctx, tsp)
+		}
+		start := time.Now()
+		tables, err := reg[ids[i]](rctx, cfg)
+		elapsed := time.Since(start)
+		tsp.End()
 		sp.End()
-		return RunResult{ID: ids[i], Tables: tables, Err: err}, nil
+		return RunResult{ID: ids[i], Tables: tables, Err: err, Elapsed: elapsed}, nil
 	})
 }
 

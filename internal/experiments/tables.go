@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,7 +16,7 @@ import (
 
 // Table2 reports the reproduction's realization of the paper's Table 2
 // system parameters.
-func Table2(cfg Config) ([]*Table, error) {
+func Table2(ctx context.Context, cfg Config) ([]*Table, error) {
 	c := chip.DefaultConfig()
 	rep, err := RepresentativeChip(cfg)
 	if err != nil {
@@ -47,7 +48,7 @@ func Table2(cfg Config) ([]*Table, error) {
 // Table3 reports, per benchmark, the Accordion input, quality metric,
 // and the measured problem-size and quality dependence exponents
 // against the paper's linear/complex classification.
-func Table3(cfg Config) ([]*Table, error) {
+func Table3(ctx context.Context, cfg Config) ([]*Table, error) {
 	all, err := AllBenchmarks()
 	if err != nil {
 		return nil, err
@@ -101,7 +102,7 @@ func measureDependence(b rms.Benchmark, seed int64) (psExp, qLinearR2 float64, e
 // canneal: end-result corruption modes versus Drop, including the
 // decision-inversion case the paper quantifies (77%/69% quality vs
 // Drop's 98%/96%).
-func Corruption(cfg Config) ([]*Table, error) {
+func Corruption(ctx context.Context, cfg Config) ([]*Table, error) {
 	b, err := cannealpkg.New()
 	if err != nil {
 		return nil, err
@@ -159,7 +160,7 @@ func Corruption(cfg Config) ([]*Table, error) {
 
 // Baselines compares Accordion's substrate against the related-work
 // mitigation schemes of Section 8 at a fixed engaged-core count.
-func Baselines(cfg Config) ([]*Table, error) {
+func Baselines(ctx context.Context, cfg Config) ([]*Table, error) {
 	rep, err := RepresentativeChip(cfg)
 	if err != nil {
 		return nil, err

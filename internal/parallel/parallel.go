@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Pool telemetry. Counters are self-gating (a disabled Add is one
@@ -83,6 +84,17 @@ func (e *PanicError) Error() string {
 // cancels the pool, and is re-raised on the caller's goroutine as a
 // *PanicError.
 func ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	return ForEachCtx(ctx, n, func(_ context.Context, i int) error { return fn(i) })
+}
+
+// ForEachCtx is ForEach for work that wants the pool's per-worker
+// context: fn receives a context derived from ctx that, while tracing
+// is enabled, carries the worker's trace span (a parallel.worker lane
+// under the caller's current span), so spans opened inside fn nest
+// under the worker that actually ran the task — the trace's worker
+// attribution. With tracing disabled the worker context is ctx itself
+// and the path adds nothing.
+func ForEachCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -132,18 +144,28 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	// finished distinguishes a normal return from a recovered panic
 	// (where the named results stay zero), so the completion counter
 	// never credits a panicked task.
-	run := func(i int) (e error, finished bool) {
+	run := func(wctx context.Context, i int) (e error, finished bool) {
 		defer func() {
 			if r := recover(); r != nil {
 				record(i, nil, &PanicError{Value: r, Stack: debug.Stack()})
 			}
 		}()
-		return fn(i), true
+		return fn(wctx, i), true
 	}
+	parent := trace.FromContext(ctx)
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			// Worker attribution: every worker records its own lane so
+			// the trace shows which goroutine ran which task spans.
+			wctx, tasks := ctx, int64(0)
+			var ws *trace.Span
+			if trace.On() {
+				ws = trace.ChildLane(parent, "parallel.worker").Arg("worker", int64(worker))
+				wctx = trace.NewContext(ctx, ws)
+				defer func() { ws.Arg("tasks", tasks).End() }()
+			}
 			for {
 				i := int(next.Add(1))
 				if i >= n || poolCtx.Err() != nil {
@@ -154,7 +176,7 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 					claimed = time.Now()
 					telQueueWait.Observe(claimed.Sub(poolStart).Nanoseconds())
 				}
-				e, finished := run(i)
+				e, finished := run(wctx, i)
 				if !claimed.IsZero() {
 					telWorkerBusy.Observe(time.Since(claimed).Nanoseconds())
 				}
@@ -163,10 +185,11 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 					return
 				}
 				if finished {
+					tasks++
 					telTasksCompleted.Inc()
 				}
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 	if caught != nil {
@@ -185,9 +208,15 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 // error the partial results are discarded and the (lowest-index) error
 // returned.
 func Map[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(ctx, n, func(_ context.Context, i int) (T, error) { return fn(i) })
+}
+
+// MapCtx is Map with ForEachCtx's per-worker context: fn's ctx carries
+// the running worker's trace span while tracing is enabled.
+func MapCtx[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(ctx, n, func(i int) error {
-		v, e := fn(i)
+	err := ForEachCtx(ctx, n, func(wctx context.Context, i int) error {
+		v, e := fn(wctx, i)
 		if e != nil {
 			return e
 		}

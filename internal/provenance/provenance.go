@@ -1,0 +1,222 @@
+// Package provenance records what a run actually was: the full flag
+// set and arguments, toolchain and module versions, per-runner wall
+// time, cache hit rates, and a SHA-256 for every artifact the run
+// wrote. The manifest.json it produces makes a result reproducible
+// (re-run with the recorded flags) and auditable (re-hash the
+// artifacts and compare) long after the terminal scrollback is gone.
+//
+// The package is pure stdlib and imports nothing else from this
+// module, so any layer may use it; in practice only cmd binaries do.
+package provenance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Artifact is one file (or rendered stream) the run produced. Path is
+// empty for artifacts captured as in-memory bytes (e.g. stdout
+// renders); Verify skips those since there is nothing on disk to
+// re-hash.
+type Artifact struct {
+	Name   string `json:"name"`
+	Path   string `json:"path,omitempty"`
+	SHA256 string `json:"sha256"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// Runner is one experiment runner's outcome.
+type Runner struct {
+	ID     string `json:"id"`
+	WallMs int64  `json:"wall_ms"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Cache is one memo cache's hit accounting at the end of the run.
+type Cache struct {
+	Name    string  `json:"name"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Manifest is the run provenance document.
+type Manifest struct {
+	Tool        string            `json:"tool"`
+	Args        []string          `json:"args"`
+	Flags       map[string]string `json:"flags"`
+	GoVersion   string            `json:"go_version"`
+	Module      string            `json:"module,omitempty"`
+	VCSRevision string            `json:"vcs_revision,omitempty"`
+	Start       time.Time         `json:"start"`
+	End         time.Time         `json:"end"`
+	WallMs      int64             `json:"wall_ms"`
+	Runners     []Runner          `json:"runners,omitempty"`
+	Caches      []Cache           `json:"caches,omitempty"`
+	Artifacts   []Artifact        `json:"artifacts"`
+}
+
+// New starts a manifest for the named tool, stamping the start time,
+// command-line arguments, and whatever build metadata the binary
+// carries (Go version always; module path and VCS revision when the
+// binary was built inside a module with VCS stamping).
+func New(tool string) *Manifest {
+	m := &Manifest{
+		Tool:      tool,
+		Args:      append([]string(nil), os.Args[1:]...),
+		Flags:     map[string]string{},
+		GoVersion: runtime.Version(),
+		Start:     time.Now().UTC(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		m.Module = info.Main.Path
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				m.VCSRevision = s.Value
+			}
+		}
+	}
+	return m
+}
+
+// SetFlags records every flag's effective value (set or default) from
+// a parsed FlagSet.
+func (m *Manifest) SetFlags(fs *flag.FlagSet) {
+	fs.VisitAll(func(f *flag.Flag) {
+		m.Flags[f.Name] = f.Value.String()
+	})
+}
+
+// AddRunner appends one runner's wall time and error state.
+func (m *Manifest) AddRunner(id string, wall time.Duration, err error) {
+	r := Runner{ID: id, WallMs: wall.Milliseconds()}
+	if err != nil {
+		r.Error = err.Error()
+	}
+	m.Runners = append(m.Runners, r)
+}
+
+// AddCache appends one memo cache's hit accounting.
+func (m *Manifest) AddCache(name string, hits, misses int64) {
+	c := Cache{Name: name, Hits: hits, Misses: misses}
+	if total := hits + misses; total > 0 {
+		c.HitRate = float64(hits) / float64(total)
+	}
+	m.Caches = append(m.Caches, c)
+}
+
+// AddArtifactBytes records an in-memory artifact (no backing path).
+func (m *Manifest) AddArtifactBytes(name string, data []byte) {
+	m.Artifacts = append(m.Artifacts, Artifact{
+		Name:   name,
+		SHA256: hashBytes(data),
+		Bytes:  int64(len(data)),
+	})
+}
+
+// AddArtifactFile hashes a file the run wrote and records it under its
+// path, so a later Verify can re-hash it.
+func (m *Manifest) AddArtifactFile(name, path string) error {
+	sum, n, err := hashFile(path)
+	if err != nil {
+		return fmt.Errorf("provenance: artifact %s: %w", name, err)
+	}
+	m.Artifacts = append(m.Artifacts, Artifact{
+		Name:   name,
+		Path:   path,
+		SHA256: sum,
+		Bytes:  n,
+	})
+	return nil
+}
+
+// Finish stamps the end time and total wall time.
+func (m *Manifest) Finish() {
+	m.End = time.Now().UTC()
+	m.WallMs = m.End.Sub(m.Start).Milliseconds()
+}
+
+// WriteJSON renders the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a manifest back from path.
+func Load(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("provenance: %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// VerifyArtifacts re-hashes every path-backed artifact and returns one
+// error per mismatch or unreadable file. Paths are resolved relative
+// to the current working directory, exactly as they were recorded.
+// In-memory artifacts (empty Path) are skipped. A nil slice means
+// every checkable artifact matched.
+func (m *Manifest) VerifyArtifacts() []error {
+	var errs []error
+	for _, a := range m.Artifacts {
+		if a.Path == "" {
+			continue
+		}
+		sum, n, err := hashFile(a.Path)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", a.Name, err))
+			continue
+		}
+		if sum != a.SHA256 {
+			errs = append(errs, fmt.Errorf("%s: sha256 mismatch: manifest %s, file %s", a.Name, a.SHA256, sum))
+		} else if n != a.Bytes {
+			errs = append(errs, fmt.Errorf("%s: size mismatch: manifest %d, file %d", a.Name, a.Bytes, n))
+		}
+	}
+	return errs
+}
+
+func hashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func hashFile(path string) (sum string, n int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err = io.Copy(h, f)
+	if err != nil {
+		return "", 0, err
+	}
+	return hex.EncodeToString(h.Sum(nil)), n, nil
+}

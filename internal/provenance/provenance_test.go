@@ -1,0 +1,138 @@
+package provenance
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestManifestRoundTrip: a populated manifest survives write → load
+// with every recorded field intact.
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(artifact, []byte("a,b\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := New("accordion-test")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.Int("chips", 100, "")
+	fs.String("chip", "accordion", "")
+	if err := fs.Parse([]string{"-chips", "25"}); err != nil {
+		t.Fatal(err)
+	}
+	m.SetFlags(fs)
+	m.AddRunner("fig1", 120*time.Millisecond, nil)
+	m.AddRunner("fig2", 80*time.Millisecond, errors.New("boom"))
+	m.AddCache("repChips", 3, 1)
+	if err := m.AddArtifactFile("out.csv", artifact); err != nil {
+		t.Fatal(err)
+	}
+	m.AddArtifactBytes("stdout", []byte("rendered tables"))
+	m.Finish()
+
+	path := filepath.Join(dir, "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "accordion-test" || got.GoVersion == "" {
+		t.Fatalf("tool/go_version not preserved: %+v", got)
+	}
+	if got.Flags["chips"] != "25" || got.Flags["chip"] != "accordion" {
+		t.Fatalf("flags not preserved: %v", got.Flags)
+	}
+	if len(got.Runners) != 2 || got.Runners[0].WallMs != 120 || got.Runners[1].Error != "boom" {
+		t.Fatalf("runners not preserved: %+v", got.Runners)
+	}
+	if len(got.Caches) != 1 || got.Caches[0].HitRate != 0.75 {
+		t.Fatalf("caches not preserved: %+v", got.Caches)
+	}
+	if len(got.Artifacts) != 2 {
+		t.Fatalf("artifacts not preserved: %+v", got.Artifacts)
+	}
+	want := sha256.Sum256([]byte("a,b\n1,2\n"))
+	if got.Artifacts[0].SHA256 != hex.EncodeToString(want[:]) {
+		t.Fatalf("artifact hash = %s, want %s", got.Artifacts[0].SHA256, hex.EncodeToString(want[:]))
+	}
+	if got.Artifacts[1].Path != "" {
+		t.Fatal("in-memory artifact gained a path")
+	}
+	if got.WallMs < 0 || got.End.Before(got.Start) {
+		t.Fatalf("wall time not sane: start=%v end=%v wall=%d", got.Start, got.End, got.WallMs)
+	}
+}
+
+// TestVerifyArtifacts: verification passes on intact files, flags
+// tampering, and skips in-memory artifacts.
+func TestVerifyArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.json")
+	if err := os.WriteFile(path, []byte(`{"x":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := New("t")
+	if err := m.AddArtifactFile("data.json", path); err != nil {
+		t.Fatal(err)
+	}
+	m.AddArtifactBytes("stdout", []byte("ignored by verify"))
+	if errs := m.VerifyArtifacts(); errs != nil {
+		t.Fatalf("verify of intact artifacts failed: %v", errs)
+	}
+	if err := os.WriteFile(path, []byte(`{"x":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errs := m.VerifyArtifacts()
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "sha256 mismatch") {
+		t.Fatalf("verify of tampered artifact: %v", errs)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if errs := m.VerifyArtifacts(); len(errs) != 1 {
+		t.Fatalf("verify of missing artifact: %v", errs)
+	}
+}
+
+// TestManifestJSONKeys pins the documented field names.
+func TestManifestJSONKeys(t *testing.T) {
+	m := New("t")
+	m.AddArtifactBytes("a", []byte("x"))
+	m.Finish()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"tool", "args", "flags", "go_version", "start", "end", "wall_ms", "artifacts"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("manifest missing key %q", key)
+		}
+	}
+}
+
+// TestLoadRejectsGarbage: a non-JSON manifest is a clean error.
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+}

@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"io"
+)
+
+// ModeFlag registers the shared -telemetry flag on fs and returns the
+// destination. Every cmd binary uses this one helper so the flag's
+// name, modes, and usage string cannot drift between tools.
+func ModeFlag(fs *flag.FlagSet) *string {
+	return fs.String("telemetry", "",
+		"dump a telemetry report to stderr after the run: text or json")
+}
+
+// StartMode validates a -telemetry mode, enables process-wide
+// recording for the non-empty modes, and returns the report function
+// that renders the final Capture. The empty mode is valid and returns
+// a no-op report, so callers can invoke the result unconditionally:
+//
+//	report, err := telemetry.StartMode(*mode)
+//	...
+//	defer report(os.Stderr)
+func StartMode(mode string) (report func(io.Writer) error, err error) {
+	switch mode {
+	case "":
+		return func(io.Writer) error { return nil }, nil
+	case "text":
+		SetEnabled(true)
+		return func(w io.Writer) error { return Capture().WriteText(w) }, nil
+	case "json":
+		SetEnabled(true)
+		return func(w io.Writer) error { return Capture().WriteJSON(w) }, nil
+	}
+	return nil, fmt.Errorf("telemetry: unknown -telemetry mode %q (want text or json)", mode)
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestModeFlag: the helper registers the one shared -telemetry flag.
+func TestModeFlag(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	mode := ModeFlag(fs)
+	if err := fs.Parse([]string{"-telemetry", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	if *mode != "json" {
+		t.Fatalf("mode = %q, want json", *mode)
+	}
+}
+
+// TestStartModeEmpty: the empty mode is a valid no-op that does not
+// enable recording.
+func TestStartModeEmpty(t *testing.T) {
+	defer SetEnabled(false)()
+	report, err := StartMode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if On() {
+		t.Fatal("empty mode enabled telemetry")
+	}
+	var buf bytes.Buffer
+	if err := report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty mode reported %q", buf.String())
+	}
+}
+
+// TestStartModeTextJSON: both real modes enable recording and render
+// their respective formats.
+func TestStartModeTextJSON(t *testing.T) {
+	defer SetEnabled(false)()
+	for mode, marker := range map[string]string{"text": "== telemetry", "json": `"counters"`} {
+		SetEnabled(false)
+		report, err := StartMode(mode)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !On() {
+			t.Fatalf("%s mode did not enable telemetry", mode)
+		}
+		var buf bytes.Buffer
+		if err := report(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), marker) {
+			t.Fatalf("%s report missing %q:\n%s", mode, marker, buf.String())
+		}
+	}
+}
+
+// TestStartModeInvalid rejects anything but text/json/empty.
+func TestStartModeInvalid(t *testing.T) {
+	if _, err := StartMode("xml"); err == nil {
+		t.Fatal("StartMode accepted xml")
+	}
+}
+
+// TestHistogramUnitRendering: a non-time histogram renders with its
+// own unit in text output and carries it in the snapshot.
+func TestHistogramUnitRendering(t *testing.T) {
+	defer SetEnabled(true)()
+	h := GetHistogramWithUnit("test.unit.bytes", "B")
+	h.reset()
+	h.Observe(4096)
+	if h.Unit() != "B" {
+		t.Fatalf("unit = %q, want B", h.Unit())
+	}
+	s := Capture()
+	var found bool
+	for _, hs := range s.Histograms {
+		if hs.Name == "test.unit.bytes" {
+			found = true
+			if hs.Unit != "B" {
+				t.Fatalf("snapshot unit = %q, want B", hs.Unit)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("histogram missing from snapshot")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4096B") {
+		t.Fatalf("text render did not use the B unit:\n%s", buf.String())
+	}
+	// Default-unit histograms still render as durations.
+	if GetHistogram("test.unit.default").Unit() != "ns" {
+		t.Fatal("GetHistogram default unit is not ns")
+	}
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsHandler: /metricsz serves the snapshot in Prometheus text
+// exposition format with the right content type.
+func TestMetricsHandler(t *testing.T) {
+	defer SetEnabled(true)()
+	GetCounter("test.prom.counter").Add(4)
+	GetGauge("test.prom.gauge").Set(11)
+	GetHistogramWithUnit("test.prom.hist", "chips").Observe(100)
+
+	rec := httptest.NewRecorder()
+	MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metricsz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != promContentType {
+		t.Fatalf("content-type = %q, want %q", ct, promContentType)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"telemetry_enabled 1",
+		"# TYPE test_prom_counter counter",
+		"test_prom_counter 4",
+		"# TYPE test_prom_gauge gauge",
+		"test_prom_gauge 11",
+		"# TYPE test_prom_hist summary",
+		`test_prom_hist{unit="chips",quantile="0.5"}`,
+		`test_prom_hist_count{unit="chips"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metricsz body missing %q", want)
+		}
+	}
+}
+
+// TestMetricsHandlerDisabled: the endpoint keeps serving while
+// telemetry is off and says so.
+func TestMetricsHandlerDisabled(t *testing.T) {
+	defer SetEnabled(false)()
+	rec := httptest.NewRecorder()
+	MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metricsz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want 200 while disabled", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "telemetry_enabled 0") {
+		t.Error("/metricsz did not report telemetry_enabled 0 while disabled")
+	}
+}
+
+// TestTelemetryzHandlerDisabled: /telemetryz also serves while
+// disabled, with enabled=false in the JSON document.
+func TestTelemetryzHandlerDisabled(t *testing.T) {
+	defer SetEnabled(false)()
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/telemetryz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want 200 while disabled", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q, want application/json", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"enabled": false`) {
+		t.Error("/telemetryz did not report enabled: false while disabled")
+	}
+}
+
+// TestPromName pins the sanitizer at its edges.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"parallel.tasks.submitted": "parallel_tasks_submitted",
+		"cache.rms.Reference.hits": "cache_rms_Reference_hits",
+		"9lives":                   "_9lives",
+		"a-b c":                    "a_b_c",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

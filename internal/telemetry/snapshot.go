@@ -22,18 +22,20 @@ type GaugeSnapshot struct {
 }
 
 // HistogramSnapshot is one histogram's point-in-time reading: the
-// moments plus interpolated quantiles (all in the histogram's native
-// unit, nanoseconds by convention).
+// moments plus interpolated quantiles, all in the histogram's own
+// unit, which the Unit field names ("ns" unless the histogram was
+// registered with GetHistogramWithUnit).
 type HistogramSnapshot struct {
-	Name   string  `json:"name"`
-	Count  int64   `json:"count"`
-	SumNs  int64   `json:"sum_ns"`
-	MinNs  int64   `json:"min_ns"`
-	MaxNs  int64   `json:"max_ns"`
-	MeanNs float64 `json:"mean_ns"`
-	P50Ns  int64   `json:"p50_ns"`
-	P95Ns  int64   `json:"p95_ns"`
-	P99Ns  int64   `json:"p99_ns"`
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit"`
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
 }
 
 // Snapshot is a consistent-enough point-in-time view of every
@@ -91,9 +93,14 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
-// fmtNs renders a nanosecond quantity with a unit a human can scan.
-func fmtNs(ns int64) string {
-	return time.Duration(ns).Round(time.Microsecond).String()
+// fmtUnit renders a histogram value in its unit: nanoseconds become a
+// rounded duration a human can scan, anything else stays a plain
+// number with the unit appended.
+func fmtUnit(v int64, unit string) string {
+	if unit == "ns" || unit == "" {
+		return time.Duration(v).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%d%s", v, unit)
 }
 
 // WriteText renders the snapshot as an aligned human-readable report:
@@ -139,8 +146,9 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		b.WriteString("-- histograms (count mean p50 p95 p99 max)\n")
 		for _, h := range s.Histograms {
 			fmt.Fprintf(&b, "%-*s  n=%d  mean=%s  p50=%s  p95=%s  p99=%s  max=%s\n",
-				width, h.Name, h.Count, fmtNs(int64(h.MeanNs)),
-				fmtNs(h.P50Ns), fmtNs(h.P95Ns), fmtNs(h.P99Ns), fmtNs(h.MaxNs))
+				width, h.Name, h.Count, fmtUnit(int64(h.Mean), h.Unit),
+				fmtUnit(h.P50, h.Unit), fmtUnit(h.P95, h.Unit),
+				fmtUnit(h.P99, h.Unit), fmtUnit(h.Max, h.Unit))
 		}
 	}
 	_, err := io.WriteString(w, b.String())

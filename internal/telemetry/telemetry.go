@@ -114,11 +114,14 @@ func (g *Gauge) reset() { g.v.Store(0) }
 // bit length is b, i.e. the power-of-two range [2^(b-1), 2^b).
 const histBuckets = 64
 
-// Histogram accumulates int64 observations (by convention nanosecond
-// durations) into power-of-two buckets. Memory is constant; recording
-// is five atomic operations and no allocation.
+// Histogram accumulates int64 observations into power-of-two buckets.
+// Memory is constant; recording is five atomic operations and no
+// allocation. Each histogram carries a unit label ("ns" unless
+// registered otherwise) that the renderers use; the unit never affects
+// recording.
 type Histogram struct {
 	name    string
+	unit    string
 	count   atomic.Int64
 	sum     atomic.Int64
 	min     atomic.Int64 // math.MaxInt64 until the first observation
@@ -128,6 +131,9 @@ type Histogram struct {
 
 // Name returns the histogram's registered name.
 func (h *Histogram) Name() string { return h.name }
+
+// Unit returns the histogram's unit label.
+func (h *Histogram) Unit() string { return h.unit }
 
 // bucketOf maps a non-negative value to its power-of-two bucket.
 func bucketOf(v int64) int {
@@ -194,12 +200,13 @@ func (h *Histogram) reset() {
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Name:  h.name,
+		Unit:  h.unit,
 		Count: h.count.Load(),
-		SumNs: h.sum.Load(),
-		MaxNs: h.max.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
 	}
 	if min := h.min.Load(); min != math.MaxInt64 {
-		s.MinNs = min
+		s.Min = min
 	}
 	var counts [histBuckets]int64
 	var total int64
@@ -211,11 +218,11 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		return s
 	}
 	if s.Count > 0 {
-		s.MeanNs = float64(s.SumNs) / float64(s.Count)
+		s.Mean = float64(s.Sum) / float64(s.Count)
 	}
-	s.P50Ns = quantile(&counts, total, 0.50, s.MinNs, s.MaxNs)
-	s.P95Ns = quantile(&counts, total, 0.95, s.MinNs, s.MaxNs)
-	s.P99Ns = quantile(&counts, total, 0.99, s.MinNs, s.MaxNs)
+	s.P50 = quantile(&counts, total, 0.50, s.Min, s.Max)
+	s.P95 = quantile(&counts, total, 0.95, s.Min, s.Max)
+	s.P99 = quantile(&counts, total, 0.99, s.Min, s.Max)
 	return s
 }
 
@@ -327,8 +334,16 @@ func GetGauge(name string) *Gauge {
 }
 
 // GetHistogram returns the process-wide histogram registered under
-// name, creating it on first use.
+// name, creating it on first use with the default nanosecond unit.
 func GetHistogram(name string) *Histogram {
+	return GetHistogramWithUnit(name, "ns")
+}
+
+// GetHistogramWithUnit is GetHistogram for non-time histograms: the
+// unit labels the renderers' output ("bytes", "chips", ...). The unit
+// is fixed at first registration; later calls under any unit return
+// the original histogram.
+func GetHistogramWithUnit(name, unit string) *Histogram {
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
 	if reg.histograms == nil {
@@ -336,7 +351,7 @@ func GetHistogram(name string) *Histogram {
 	}
 	h, ok := reg.histograms[name]
 	if !ok {
-		h = &Histogram{name: name}
+		h = &Histogram{name: name, unit: unit}
 		h.min.Store(math.MaxInt64)
 		reg.histograms[name] = h
 	}

@@ -97,11 +97,11 @@ func TestHistogramConcurrent(t *testing.T) {
 	if s.Count != n {
 		t.Fatalf("count = %d, want %d", s.Count, n)
 	}
-	if want := int64(n) * (n + 1) / 2; s.SumNs != want {
-		t.Fatalf("sum = %d, want %d", s.SumNs, want)
+	if want := int64(n) * (n + 1) / 2; s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
 	}
-	if s.MinNs != 1 || s.MaxNs != n {
-		t.Fatalf("min/max = %d/%d, want 1/%d", s.MinNs, s.MaxNs, n)
+	if s.Min != 1 || s.Max != n {
+		t.Fatalf("min/max = %d/%d, want 1/%d", s.Min, s.Max, n)
 	}
 	var bucketTotal int64
 	for i := range h.buckets {
@@ -110,9 +110,9 @@ func TestHistogramConcurrent(t *testing.T) {
 	if bucketTotal != n {
 		t.Fatalf("bucket total = %d, want %d", bucketTotal, n)
 	}
-	if !(s.MinNs <= s.P50Ns && s.P50Ns <= s.P95Ns && s.P95Ns <= s.P99Ns && s.P99Ns <= s.MaxNs) {
+	if !(s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
 		t.Fatalf("quantiles not monotone: min=%d p50=%d p95=%d p99=%d max=%d",
-			s.MinNs, s.P50Ns, s.P95Ns, s.P99Ns, s.MaxNs)
+			s.Min, s.P50, s.P95, s.P99, s.Max)
 	}
 }
 
@@ -126,11 +126,11 @@ func TestHistogramQuantilesSingleValue(t *testing.T) {
 		h.Observe(42)
 	}
 	s := h.snapshot()
-	if s.P50Ns != 42 || s.P95Ns != 42 || s.P99Ns != 42 {
-		t.Fatalf("quantiles = %d/%d/%d, want 42/42/42", s.P50Ns, s.P95Ns, s.P99Ns)
+	if s.P50 != 42 || s.P95 != 42 || s.P99 != 42 {
+		t.Fatalf("quantiles = %d/%d/%d, want 42/42/42", s.P50, s.P95, s.P99)
 	}
-	if s.MeanNs != 42 {
-		t.Fatalf("mean = %g, want 42", s.MeanNs)
+	if s.Mean != 42 {
+		t.Fatalf("mean = %g, want 42", s.Mean)
 	}
 }
 
@@ -147,11 +147,11 @@ func TestHistogramQuantileSpread(t *testing.T) {
 	// Log-bucketed estimates: the true p50 is 500, resolvable only to
 	// its bucket [256, 511]; p99 is 990, bucket [512, 1023] clamped to
 	// the observed max.
-	if s.P50Ns < 256 || s.P50Ns > 511 {
-		t.Fatalf("p50 = %d, want within [256, 511]", s.P50Ns)
+	if s.P50 < 256 || s.P50 > 511 {
+		t.Fatalf("p50 = %d, want within [256, 511]", s.P50)
 	}
-	if s.P99Ns < 512 || s.P99Ns > 1000 {
-		t.Fatalf("p99 = %d, want within [512, 1000]", s.P99Ns)
+	if s.P99 < 512 || s.P99 > 1000 {
+		t.Fatalf("p99 = %d, want within [512, 1000]", s.P99)
 	}
 }
 
@@ -163,7 +163,7 @@ func TestHistogramNegativeClamps(t *testing.T) {
 	h.reset()
 	h.Observe(-5)
 	s := h.snapshot()
-	if s.Count != 1 || s.MinNs != 0 || s.SumNs != 0 {
+	if s.Count != 1 || s.Min != 0 || s.Sum != 0 {
 		t.Fatalf("negative observation mishandled: %+v", s)
 	}
 }
@@ -190,7 +190,7 @@ func TestSnapshotUnderFire(t *testing.T) {
 			default:
 				s := Capture()
 				for _, hs := range s.Histograms {
-					if hs.Count < 0 || hs.SumNs < 0 {
+					if hs.Count < 0 || hs.Sum < 0 {
 						panic("negative snapshot")
 					}
 				}

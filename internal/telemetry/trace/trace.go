@@ -1,0 +1,411 @@
+// Package trace is the repository's second observability tier: where
+// internal/telemetry aggregates (counters, histograms), trace records
+// — a hierarchical span tree covering one run (run → runner →
+// population → per-chip draw → solver/front stages), exported as
+// Chrome trace-event JSON that loads directly in Perfetto or
+// chrome://tracing.
+//
+// Design constraints, mirroring internal/telemetry:
+//
+//  1. Near-zero cost when off. Span creation is gated on one atomic
+//     load of the package switch; while disabled every constructor
+//     returns a nil *Span whose methods are no-ops, so the disabled
+//     path performs no allocation and no time.Now call (pinned by
+//     TestTraceDisabledOverhead).
+//  2. Lock-free recording. Finished spans land in a striped event
+//     arena: each stripe is a fixed slab claimed by one atomic
+//     cursor bump, and a per-slot done flag publishes the write, so
+//     the record path takes no lock ever. Stripes are selected by
+//     lane, which keeps concurrent workers on separate cache lines.
+//  3. Bounded memory. The arena holds at most nStripes*stripeCap
+//     events no matter how long the run is; overflow increments
+//     Dropped() instead of growing.
+//
+// Spans form a tree through explicit parent IDs. Each span also lives
+// on a lane (exported as the Chrome "tid"): a Child shares its
+// parent's lane, so sequential stages nest visually inside one
+// Perfetto track, while a ChildLane opens a fresh lane for work that
+// runs concurrently with its parent (pool workers, Monte-Carlo
+// draws). Lanes are process-unique, so two concurrent pools never
+// interleave slices on one track.
+//
+// Context is the propagation vehicle across layers that fan out:
+// NewContext/FromContext carry the current span, and StartFrom opens
+// a child of whatever span the context carries (a root span when it
+// carries none).
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the process-wide recording switch.
+var enabled atomic.Bool
+
+// epoch anchors span timestamps; all events are nanoseconds since it.
+var epoch atomic.Int64 // unix nanoseconds, 0 until first enable
+
+// On reports whether tracing is recording. Callers that must pay a
+// setup cost before opening a span (building a span name, deriving
+// args) should gate that setup on On().
+func On() bool { return enabled.Load() }
+
+// SetEnabled flips the process-wide tracing switch and returns a
+// function restoring the previous state, for scoped use in tests. The
+// first enable anchors the trace clock; Reset re-anchors it.
+func SetEnabled(on bool) (restore func()) {
+	if on {
+		epoch.CompareAndSwap(0, time.Now().UnixNano())
+	}
+	prev := enabled.Swap(on)
+	return func() { enabled.Store(prev) }
+}
+
+// now returns nanoseconds since the trace epoch.
+func now() int64 { return time.Now().UnixNano() - epoch.Load() }
+
+// ID counters. Span IDs start at 1 so 0 always means "no parent";
+// lane 0 is never assigned so a zero TID cannot alias a real lane.
+var (
+	spanIDs atomic.Uint64
+	laneIDs atomic.Uint64
+)
+
+// Arg is one key/value annotation on a span, either integer or string
+// valued. The integer form exists so hot paths can annotate without
+// boxing an interface.
+type Arg struct {
+	Key   string
+	Int   int64
+	Str   string
+	IsStr bool
+}
+
+// value returns the arg's dynamic value for JSON encoding.
+func (a Arg) value() any {
+	if a.IsStr {
+		return a.Str
+	}
+	return a.Int
+}
+
+// Event is one finished span as recorded in the arena.
+type Event struct {
+	Name   string
+	ID     uint64
+	Parent uint64 // 0 for root spans
+	TID    uint64 // lane
+	Start  int64  // ns since the trace epoch
+	Dur    int64  // ns
+	Args   []Arg
+}
+
+// Span is one in-flight stage. A nil *Span (what every constructor
+// returns while tracing is off) is a valid no-op receiver for every
+// method, so instrumentation needs no guards.
+type Span struct {
+	name   string
+	id     uint64
+	parent uint64
+	tid    uint64
+	start  int64
+	args   []Arg
+}
+
+// start opens a span on the given lane under the given parent id.
+func start(name string, parent, tid uint64) *Span {
+	return &Span{
+		name:   name,
+		id:     spanIDs.Add(1),
+		parent: parent,
+		tid:    tid,
+		start:  now(),
+	}
+}
+
+// StartRoot opens a parentless span on a fresh lane: the top of a span
+// tree (a whole run, or a shared computation not owned by any runner).
+// Returns nil while tracing is off.
+func StartRoot(name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return start(name, 0, laneIDs.Add(1))
+}
+
+// Child opens a span under parent on the parent's lane — for a
+// sequential stage, which Perfetto then nests inside the parent's
+// slice. A nil parent (or disabled tracing) degrades gracefully:
+// nil→StartRoot while tracing, nil result while off.
+func Child(parent *Span, name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	if parent == nil {
+		return StartRoot(name)
+	}
+	return start(name, parent.id, parent.tid)
+}
+
+// ChildLane opens a span under parent on a fresh lane — for work that
+// runs concurrently with its parent (a pool worker, a Monte-Carlo
+// draw), which must not share the parent's track.
+func ChildLane(parent *Span, name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	var pid uint64
+	if parent != nil {
+		pid = parent.id
+	}
+	return start(name, pid, laneIDs.Add(1))
+}
+
+// Arg annotates the span with an integer value and returns the span
+// for chaining. No-op (and allocation-free) on a nil span.
+func (s *Span) Arg(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.args = append(s.args, Arg{Key: key, Int: v})
+	return s
+}
+
+// ArgStr annotates the span with a string value.
+func (s *Span) ArgStr(key, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.args = append(s.args, Arg{Key: key, Str: v, IsStr: true})
+	return s
+}
+
+// ID returns the span's unique id (0 for nil spans).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// End finishes the span and records it into the arena. A span started
+// while tracing was on still lands if the switch flips mid-flight, so
+// trees are never left with dangling children. Safe on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	record(Event{
+		Name:   s.name,
+		ID:     s.id,
+		Parent: s.parent,
+		TID:    s.tid,
+		Start:  s.start,
+		Dur:    now() - s.start,
+		Args:   s.args,
+	})
+}
+
+// Context propagation.
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the span.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartFrom opens a sequential child of the span ctx carries (a root
+// span when it carries none). Returns nil while tracing is off, and
+// performs the context lookup only while tracing is on.
+func StartFrom(ctx context.Context, name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return Child(FromContext(ctx), name)
+}
+
+// The event arena: nStripes fixed slabs. A record picks the stripe of
+// its lane, claims a slot with one atomic bump, writes the event, and
+// publishes it with the slot's done flag — no locks anywhere on the
+// record path. Slabs allocate lazily (one CAS) on first use.
+const (
+	nStripes  = 64
+	stripeCap = 8192
+)
+
+type slab struct {
+	n    atomic.Int64
+	ev   []Event
+	done []atomic.Bool
+}
+
+var arena struct {
+	stripes [nStripes]atomic.Pointer[slab]
+	dropped atomic.Int64
+}
+
+// record appends one finished event to its lane's stripe.
+func record(e Event) {
+	sp := &arena.stripes[e.TID%nStripes]
+	sl := sp.Load()
+	if sl == nil {
+		fresh := &slab{ev: make([]Event, stripeCap), done: make([]atomic.Bool, stripeCap)}
+		if sp.CompareAndSwap(nil, fresh) {
+			sl = fresh
+		} else {
+			sl = sp.Load()
+		}
+	}
+	idx := sl.n.Add(1) - 1
+	if idx >= stripeCap {
+		arena.dropped.Add(1)
+		return
+	}
+	sl.ev[idx] = e
+	sl.done[idx].Store(true)
+}
+
+// Dropped returns the number of events discarded because the arena
+// was full.
+func Dropped() int64 { return arena.dropped.Load() }
+
+// Reset discards every recorded event, re-anchors the trace clock,
+// and zeroes the drop counter. Call it between runs; it must not race
+// with in-flight spans.
+func Reset() {
+	for i := range arena.stripes {
+		arena.stripes[i].Store(nil)
+	}
+	arena.dropped.Store(0)
+	epoch.Store(time.Now().UnixNano())
+}
+
+// Collect returns every published event, sorted by start time (ties
+// by span id). Call it only after the traced work has quiesced — the
+// per-slot done flags make the read race-free, but events still in
+// flight are simply absent.
+func Collect() []Event {
+	var out []Event
+	for i := range arena.stripes {
+		sl := arena.stripes[i].Load()
+		if sl == nil {
+			continue
+		}
+		n := sl.n.Load()
+		if n > stripeCap {
+			n = stripeCap
+		}
+		for j := int64(0); j < n; j++ {
+			if sl.done[j].Load() {
+				out = append(out, sl.ev[j])
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Chrome trace-event JSON (the "JSON Array Format" object flavor with
+// a traceEvents key), loadable in Perfetto and chrome://tracing.
+// Every span becomes a complete ("X") event; ts/dur are microseconds
+// (fractional, so nanosecond resolution survives), and the span/parent
+// ids ride in args so the tree is recoverable even across lanes.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// cat derives the event category from the span name's first dotted
+// component ("chip.draw" → "chip"), which Perfetto uses for coloring.
+func cat(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// WriteChromeTrace renders events as Chrome trace-event JSON. Lanes
+// are named after the first span observed on them via thread_name
+// metadata events.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	laneName := map[uint64]string{}
+	for _, e := range events {
+		if _, ok := laneName[e.TID]; !ok {
+			laneName[e.TID] = e.Name
+		}
+		dur := float64(e.Dur) / 1e3
+		args := map[string]any{"span": e.ID, "parent": e.Parent}
+		for _, a := range e.Args {
+			args[a.Key] = a.value()
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: e.Name,
+			Cat:  cat(e.Name),
+			Ph:   "X",
+			Ts:   float64(e.Start) / 1e3,
+			Dur:  &dur,
+			Pid:  1,
+			Tid:  e.TID,
+			Args: args,
+		})
+	}
+	tids := make([]uint64, 0, len(laneName))
+	for tid := range laneName {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(a, b int) bool { return tids[a] < tids[b] })
+	for _, tid := range tids {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Cat:  "__metadata",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]any{"name": laneName[tid]},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// Dump collects everything recorded so far and writes it as Chrome
+// trace-event JSON: the one-call export path for cmd binaries.
+func Dump(w io.Writer) error {
+	return WriteChromeTrace(w, Collect())
+}

@@ -1,0 +1,272 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// eventByName finds one collected event by span name.
+func eventByName(t *testing.T, events []Event, name string) Event {
+	t.Helper()
+	for _, e := range events {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("no event named %q in %d events", name, len(events))
+	return Event{}
+}
+
+// TestSpanTree pins the structural contract: Child shares the lane and
+// parents correctly, ChildLane opens a fresh lane, roots have no
+// parent.
+func TestSpanTree(t *testing.T) {
+	defer SetEnabled(false)()
+	SetEnabled(true)
+	Reset()
+
+	run := StartRoot("run")
+	runner := Child(run, "runner")
+	draw := ChildLane(runner, "draw").Arg("index", 7).ArgStr("kind", "mc")
+	draw.End()
+	runner.End()
+	run.End()
+
+	events := Collect()
+	if len(events) != 3 {
+		t.Fatalf("collected %d events, want 3", len(events))
+	}
+	er := eventByName(t, events, "run")
+	en := eventByName(t, events, "runner")
+	ed := eventByName(t, events, "draw")
+	if er.Parent != 0 {
+		t.Errorf("run parent = %d, want 0", er.Parent)
+	}
+	if en.Parent != er.ID {
+		t.Errorf("runner parent = %d, want run id %d", en.Parent, er.ID)
+	}
+	if en.TID != er.TID {
+		t.Errorf("runner lane = %d, want run lane %d (Child shares lanes)", en.TID, er.TID)
+	}
+	if ed.Parent != en.ID {
+		t.Errorf("draw parent = %d, want runner id %d", ed.Parent, en.ID)
+	}
+	if ed.TID == en.TID {
+		t.Error("ChildLane did not open a fresh lane")
+	}
+	if len(ed.Args) != 2 || ed.Args[0].Key != "index" || ed.Args[0].Int != 7 ||
+		ed.Args[1].Key != "kind" || ed.Args[1].Str != "mc" {
+		t.Errorf("draw args = %+v", ed.Args)
+	}
+}
+
+// TestDisabledReturnsNil: every constructor yields nil while off, and
+// nil spans tolerate the full method set.
+func TestDisabledReturnsNil(t *testing.T) {
+	defer SetEnabled(false)()
+	SetEnabled(false)
+	if s := StartRoot("x"); s != nil {
+		t.Fatal("StartRoot returned a span while disabled")
+	}
+	if s := Child(nil, "x"); s != nil {
+		t.Fatal("Child returned a span while disabled")
+	}
+	if s := ChildLane(nil, "x"); s != nil {
+		t.Fatal("ChildLane returned a span while disabled")
+	}
+	if s := StartFrom(context.Background(), "x"); s != nil {
+		t.Fatal("StartFrom returned a span while disabled")
+	}
+	var nilSpan *Span
+	nilSpan.Arg("k", 1).ArgStr("s", "v").End()
+	if nilSpan.ID() != 0 {
+		t.Fatal("nil span has a nonzero id")
+	}
+}
+
+// TestTraceDisabledOverhead mirrors TestTelemetryDisabledOverhead: the
+// disabled record path allocates nothing.
+func TestTraceDisabledOverhead(t *testing.T) {
+	defer SetEnabled(false)()
+	SetEnabled(false)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartRoot("overhead")
+		sp = Child(sp, "child")
+		sp = sp.Arg("k", 3)
+		sp.End()
+		StartFrom(ctx, "from").End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestContextPropagation: StartFrom parents to the context's span and
+// FromContext round-trips.
+func TestContextPropagation(t *testing.T) {
+	defer SetEnabled(false)()
+	SetEnabled(true)
+	Reset()
+	root := StartRoot("ctx.root")
+	ctx := NewContext(context.Background(), root)
+	if got := FromContext(ctx); got != root {
+		t.Fatal("FromContext did not round-trip")
+	}
+	child := StartFrom(ctx, "ctx.child")
+	child.End()
+	root.End()
+	events := Collect()
+	if e := eventByName(t, events, "ctx.child"); e.Parent != root.ID() {
+		t.Errorf("ctx child parent = %d, want %d", e.Parent, root.ID())
+	}
+	if FromContext(nil) != nil {
+		t.Error("FromContext(nil) != nil")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("FromContext(empty) != nil")
+	}
+}
+
+// TestConcurrentRecording hammers the arena from many goroutines; the
+// count must be exact (no lost events below capacity) and the race
+// detector guards the memory model.
+func TestConcurrentRecording(t *testing.T) {
+	defer SetEnabled(false)()
+	SetEnabled(true)
+	Reset()
+	const workers, per = 16, 200
+	root := StartRoot("fire.root")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lane := ChildLane(root, "fire.lane")
+			for i := 0; i < per; i++ {
+				Child(lane, "fire.ev").Arg("i", int64(i)).End()
+			}
+			lane.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	events := Collect()
+	want := workers*per + workers + 1
+	if len(events) != want {
+		t.Fatalf("collected %d events, want %d (dropped=%d)", len(events), want, Dropped())
+	}
+}
+
+// TestArenaBounded: overflowing one stripe drops instead of growing,
+// and the drop is counted.
+func TestArenaBounded(t *testing.T) {
+	defer SetEnabled(false)()
+	SetEnabled(true)
+	Reset()
+	lane := StartRoot("bound.lane")
+	for i := 0; i < stripeCap+10; i++ {
+		Child(lane, "bound.ev").End()
+	}
+	if Dropped() == 0 {
+		t.Fatal("overflow did not count drops")
+	}
+	if n := len(Collect()); n > stripeCap {
+		t.Fatalf("arena grew past its cap: %d events", n)
+	}
+	Reset()
+	if Dropped() != 0 || len(Collect()) != 0 {
+		t.Fatal("Reset did not clear the arena")
+	}
+}
+
+// TestChromeExport: the export is valid Chrome trace-event JSON — an
+// object with a traceEvents array of "X" events whose args carry the
+// span/parent ids, plus thread_name metadata per lane.
+func TestChromeExport(t *testing.T) {
+	defer SetEnabled(false)()
+	SetEnabled(true)
+	Reset()
+	run := StartRoot("run")
+	runner := Child(run, "experiments.run.fig1a")
+	draw := ChildLane(runner, "chip.draw").Arg("index", 3)
+	draw.End()
+	runner.End()
+	run.End()
+
+	var buf bytes.Buffer
+	if err := Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Pid  int            `json:"pid"`
+			Tid  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var spans, meta int
+	byName := map[string]map[string]any{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			byName[e.Name] = e.Args
+			if e.Pid != 1 {
+				t.Errorf("event %q pid = %d, want 1", e.Name, e.Pid)
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if spans != 3 {
+		t.Fatalf("export has %d X events, want 3", spans)
+	}
+	if meta == 0 {
+		t.Error("export has no thread_name metadata events")
+	}
+	// The tree must be recoverable from args: draw.parent == runner.span
+	// == child of run.span.
+	runID := byName["run"]["span"].(float64)
+	runnerArgs := byName["experiments.run.fig1a"]
+	if runnerArgs["parent"].(float64) != runID {
+		t.Error("runner's exported parent is not the run span")
+	}
+	drawArgs := byName["chip.draw"]
+	if drawArgs["parent"].(float64) != runnerArgs["span"].(float64) {
+		t.Error("draw's exported parent is not the runner span")
+	}
+	if drawArgs["index"].(float64) != 3 {
+		t.Error("draw's index arg did not export")
+	}
+	if cat("chip.draw") != "chip" || cat("run") != "run" {
+		t.Error("cat derivation broken")
+	}
+}
+
+// TestEndAfterDisable: a span started while on still records if the
+// switch flips before End, so trees have no dangling children.
+func TestEndAfterDisable(t *testing.T) {
+	defer SetEnabled(false)()
+	SetEnabled(true)
+	Reset()
+	sp := StartRoot("flip")
+	SetEnabled(false)
+	sp.End()
+	if len(Collect()) != 1 {
+		t.Fatal("span started while enabled was lost at End")
+	}
+}

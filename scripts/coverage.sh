@@ -21,6 +21,21 @@ case "$total" in
 esac
 
 echo "total statement coverage: ${total}% (floor: ${min}%)"
+
+# The three least-covered packages, so the floor's next threats are
+# visible in every run (per-function data rolled up by package).
+echo "lowest-covered packages:"
+go tool cover -func="$profile" | awk '
+    $1 != "total:" {
+        split($1, parts, "/[^/]*\\.go:")
+        pkg = parts[1]
+        sub(/%/, "", $NF)
+        sum[pkg] += $NF
+        n[pkg]++
+    }
+    END { for (p in sum) printf "%7.1f%%  %s\n", sum[p]/n[p], p }
+' | sort -n | head -3
+
 if awk -v t="$total" -v m="$min" 'BEGIN { exit !(t+0 < m+0) }'; then
     echo "coverage: ${total}% is below the ${min}% floor" >&2
     exit 1
