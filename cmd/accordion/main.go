@@ -3,8 +3,9 @@
 // Usage:
 //
 //	accordion [-seed N] [-chip N] [-chips N] [-j N] [-telemetry text|json]
-//	          [-trace FILE] [-manifest FILE] [-convergence FILE] [-progress]
-//	          [-pprof addr] [list | all | <experiment id>...]
+//	          [-trace FILE] [-events FILE] [-atlas DIR] [-manifest FILE]
+//	          [-convergence FILE] [-progress] [-pprof addr]
+//	          [list | all | <experiment id>...]
 //	accordion -verify-manifest FILE
 //
 // Experiment ids correspond to the paper's tables and figures: fig1a,
@@ -32,10 +33,19 @@
 // -convergence FILE enables the Monte-Carlo convergence monitor and
 // dumps streaming mean/CI95 statistics for the per-chip metrics;
 // -progress additionally prints a chips-done/ETA/CI line to stderr
-// every two seconds. -pprof <addr> serves net/http/pprof plus the
-// /telemetryz JSON endpoint and the /metricsz Prometheus text
-// endpoint for live scraping. With all of these off, the run is
-// byte-identical to one without the observability tier.
+// every two seconds.
+//
+// Domain observability: -events FILE records simulation-domain events
+// (chip drawn, front measured, fault injected, Drop triggered, quality
+// scored) and writes them as NDJSON. -atlas DIR runs the hotspot
+// fault-attribution pass on the representative chip and writes the
+// per-chip spatial export set — atlas.json, atlas.csv, one
+// atlas_<metric>.svg heatmap per metric, and ledger.json with the
+// per-core distortion breakdown. -pprof <addr> serves net/http/pprof
+// plus the /telemetryz JSON endpoint, the /metricsz Prometheus text
+// endpoint, and the /eventsz NDJSON event-log endpoint for live
+// scraping. With all of these off, the run is byte-identical to one
+// without the observability tier.
 package main
 
 import (
@@ -52,11 +62,13 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/atlas"
 	"repro/internal/converge"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 	"repro/internal/provenance"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/events"
 	"repro/internal/telemetry/trace"
 )
 
@@ -70,6 +82,8 @@ func main() {
 		outDir     = flag.String("out", "", "also write each experiment to <out>/<id>.<ext>")
 		telemMode  = telemetry.ModeFlag(flag.CommandLine)
 		tracePath  = flag.String("trace", "", "record spans and write a Chrome trace-event JSON file (open in Perfetto)")
+		eventsPath = events.PathFlag(flag.CommandLine)
+		atlasDir   = atlas.DirFlag(flag.CommandLine)
 		maniPath   = flag.String("manifest", "", "write a run-provenance manifest (flags, versions, wall times, artifact SHA-256s)")
 		convPath   = flag.String("convergence", "", "monitor Monte-Carlo convergence and write the statistics as JSON")
 		progress   = flag.Bool("progress", false, "print chips-done/ETA/CI-width progress lines to stderr during the run")
@@ -122,14 +136,19 @@ func main() {
 	if *tracePath != "" {
 		trace.SetEnabled(true)
 	}
+	finishEvents, err := events.StartPath(*eventsPath)
+	if err != nil {
+		fail(2, "%v", err)
+	}
 	if *convPath != "" || *progress {
 		converge.SetEnabled(true)
 	}
 	if *pprofAddr != "" {
 		// net/http/pprof registered its handlers on the default mux at
-		// import; /telemetryz and /metricsz join them there.
+		// import; /telemetryz, /metricsz and /eventsz join them there.
 		http.Handle("/telemetryz", telemetry.Handler())
 		http.Handle("/metricsz", telemetry.MetricsHandler())
+		http.Handle("/eventsz", events.Handler())
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "accordion: pprof server: %v\n", err)
@@ -216,6 +235,29 @@ func main() {
 				fmt.Fprintf(os.Stderr, "accordion: convergence: %v\n", err)
 			} else if man != nil {
 				if err := man.AddArtifactFile("convergence.json", *convPath); err != nil {
+					fmt.Fprintf(os.Stderr, "accordion: manifest: %v\n", err)
+				}
+			}
+		}
+		// The atlas export runs before the event dump so its atlas.built
+		// and fault-provenance events land in events.ndjson too.
+		if *atlasDir != "" {
+			paths, err := writeAtlas(ctx, *atlasDir, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "accordion: atlas: %v\n", err)
+			} else if man != nil {
+				for _, p := range paths {
+					if err := man.AddArtifactFile(filepath.Base(p), p); err != nil {
+						fmt.Fprintf(os.Stderr, "accordion: manifest: %v\n", err)
+					}
+				}
+			}
+		}
+		if *eventsPath != "" {
+			if err := finishEvents(); err != nil {
+				fmt.Fprintf(os.Stderr, "accordion: %v\n", err)
+			} else if man != nil {
+				if err := man.AddArtifactFile("events.ndjson", *eventsPath); err != nil {
 					fmt.Fprintf(os.Stderr, "accordion: manifest: %v\n", err)
 				}
 			}
@@ -321,6 +363,36 @@ func writeTrace(path string) error {
 		fmt.Fprintf(os.Stderr, "accordion: trace: arena overflow dropped %d events\n", n)
 	}
 	return f.Close()
+}
+
+// writeAtlas runs the fault-attribution pass on the representative
+// chip and writes the spatial export set (atlas.json, atlas.csv, the
+// SVG heatmaps) plus the per-core distortion ledger into dir. It
+// returns every path written so the manifest can hash them.
+func writeAtlas(ctx context.Context, dir string, cfg experiments.Config) ([]string, error) {
+	res, err := experiments.RunAttribution(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	a := atlas.Build(res.Chip)
+	a.ApplyLedger(res.Report, res.Bench, res.Mode)
+	paths, err := a.WriteDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ledgerPath := filepath.Join(dir, "ledger.json")
+	f, err := os.Create(ledgerPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Report.WriteJSON(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return append(paths, ledgerPath), nil
 }
 
 // writeConvergence dumps the Monte-Carlo convergence statistics.

@@ -8,7 +8,10 @@
 //	chipgen [-seed N] [-n N] [-v]
 //
 // With -n > 1 a population summary is printed; -v additionally dumps
-// per-cluster detail for the first chip.
+// per-cluster detail for the first chip. -events FILE records the
+// simulation-domain event log (chip.drawn per sample) as NDJSON;
+// -atlas DIR writes the first chip's spatial export set (JSON, CSV,
+// SVG heatmaps — no fault overlay, chipgen runs no workload).
 package main
 
 import (
@@ -16,9 +19,11 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/atlas"
 	"repro/internal/chip"
 	"repro/internal/mathx"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/events"
 	"repro/internal/variation"
 	"repro/internal/workload"
 )
@@ -32,6 +37,8 @@ func main() {
 		loadFile  = flag.String("load", "", "analyze a previously saved chip instead of sampling")
 		fieldPGM  = flag.String("field", "", "render one Vth variation field to this PGM path")
 		telemMode = telemetry.ModeFlag(flag.CommandLine)
+		eventsTo  = events.PathFlag(flag.CommandLine)
+		atlasDir  = atlas.DirFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -44,6 +51,15 @@ func main() {
 		fail(err)
 	}
 	defer reportTelemetry(os.Stderr)
+	finishEvents, err := events.StartPath(*eventsTo)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := finishEvents(); err != nil {
+			fmt.Fprintf(os.Stderr, "chipgen: %v\n", err)
+		}
+	}()
 	var pop []*chip.Chip
 	if *loadFile != "" {
 		f, err := os.Open(*loadFile)
@@ -75,6 +91,14 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("saved chip (seed %d) to %s\n", pop[0].Seed, *saveFile)
+	}
+
+	if *atlasDir != "" {
+		paths, err := atlas.Build(pop[0]).WriteDir(*atlasDir)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d atlas files (chip seed %d) to %s\n", len(paths), pop[0].Seed, *atlasDir)
 	}
 
 	if *fieldPGM != "" {

@@ -8,7 +8,11 @@
 // Usage:
 //
 //	paretoscan -bench canneal [-flavor safe|spec] [-policy efficient|fastest|sequential]
-//	           [-seed N] [-chip N] [-qfloor Q]
+//	           [-seed N] [-chip N] [-qfloor Q] [-events FILE] [-atlas DIR]
+//
+// -events FILE records the simulation-domain event log (chip.drawn,
+// front.measured, quality.scored, fault provenance) as NDJSON; -atlas
+// DIR writes the scanned chip's spatial export set (no fault overlay).
 package main
 
 import (
@@ -16,11 +20,13 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/atlas"
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/power"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/events"
 )
 
 func main() {
@@ -33,6 +39,8 @@ func main() {
 		qfloor    = flag.Float64("qfloor", 0, "minimum relative quality (0 disables)")
 		clusterG  = flag.Bool("cluster", false, "engage whole clusters (the paper's Section 5.1 granularity)")
 		telemMode = telemetry.ModeFlag(flag.CommandLine)
+		eventsTo  = events.PathFlag(flag.CommandLine)
+		atlasDir  = atlas.DirFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -45,6 +53,15 @@ func main() {
 		fail(err)
 	}
 	defer reportTelemetry(os.Stderr)
+	finishEvents, err := events.StartPath(*eventsTo)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := finishEvents(); err != nil {
+			fmt.Fprintf(os.Stderr, "paretoscan: %v\n", err)
+		}
+	}()
 
 	var flavor core.Flavor
 	switch *flavorStr {
@@ -74,6 +91,11 @@ func main() {
 	ch, err := chip.New(chip.DefaultConfig(), *chipSeed)
 	if err != nil {
 		fail(err)
+	}
+	if *atlasDir != "" {
+		if _, err := atlas.Build(ch).WriteDir(*atlasDir); err != nil {
+			fail(err)
+		}
 	}
 	pm := power.NewModel(ch)
 	qm, err := core.MeasureFronts(b, *seed)

@@ -1,0 +1,215 @@
+package atlas
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/xml"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/fault"
+)
+
+// smallChip samples a 4-cluster, 4-core-per-cluster chip: big enough
+// to exercise the tile geometry, small enough for byte-stable goldens.
+func smallChip(t *testing.T) *chip.Chip {
+	t.Helper()
+	cfg := chip.DefaultConfig()
+	cfg.Clusters = 4
+	cfg.CoresPer = 4
+	cfg.CoreMemBits = 16 * 1024 * 8
+	cfg.ClusterMemBits = 256 * 1024 * 8
+	ch, err := chip.New(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+// syntheticReport builds a deterministic attribution overlay.
+func syntheticReport() fault.Report {
+	return fault.Report{
+		ChipSeed:        7,
+		EngagedCores:    4,
+		Injections:      6,
+		TotalDistortion: 0.25,
+		Cores: []fault.CoreReport{
+			{Core: 2, Cluster: 0, Faults: 4, Distortion: 0.2, Share: 0.8},
+			{Core: 9, Cluster: 2, Faults: 2, Distortion: 0.05, Share: 0.2},
+		},
+	}
+}
+
+func TestBuildGeometryAndValues(t *testing.T) {
+	ch := smallChip(t)
+	a := Build(ch)
+	if a.ChipSeed != 7 || a.Clusters != 4 || a.CoresPer != 4 {
+		t.Fatalf("header = %+v", a)
+	}
+	if a.GridSide != 2 || a.CoreSide != 2 {
+		t.Fatalf("grid geometry = %dx%d tiles of %dx%d", a.GridSide, a.GridSide, a.CoreSide, a.CoreSide)
+	}
+	if len(a.Cores) != 16 || len(a.ClusterRows) != 4 {
+		t.Fatalf("rows: %d cores, %d clusters", len(a.Cores), len(a.ClusterRows))
+	}
+	seen := map[[2]int]bool{}
+	for _, c := range a.Cores {
+		if c.X < 0 || c.X >= 4 || c.Y < 0 || c.Y >= 4 {
+			t.Errorf("core %d at (%d,%d) outside the 4x4 die grid", c.Core, c.X, c.Y)
+		}
+		if seen[[2]int{c.X, c.Y}] {
+			t.Errorf("grid position (%d,%d) assigned twice", c.X, c.Y)
+		}
+		seen[[2]int{c.X, c.Y}] = true
+		if c.FmaxGHz <= 0 || c.SafeGHz <= 0 || c.VthV <= 0 {
+			t.Errorf("core %d has non-physical values %+v", c.Core, c)
+		}
+		if c.Perr < 0 || c.Perr > 1 {
+			t.Errorf("core %d perr = %v", c.Core, c.Perr)
+		}
+	}
+	vddntv := 0.0
+	for _, cl := range a.ClusterRows {
+		if cl.VddMIN <= 0 {
+			t.Errorf("cluster %d VddMIN = %v", cl.Cluster, cl.VddMIN)
+		}
+		if cl.VddMIN > vddntv {
+			vddntv = cl.VddMIN
+		}
+	}
+	if math.Abs(vddntv-a.VddNTV) > 1e-9 {
+		t.Errorf("VddNTV %v is not the max cluster VddMIN %v", a.VddNTV, vddntv)
+	}
+}
+
+func TestApplyLedger(t *testing.T) {
+	a := Build(smallChip(t))
+	a.ApplyLedger(syntheticReport(), "hotspot", "drop")
+	if a.Bench != "hotspot" || a.FaultMode != "drop" || a.TotalDistortion != 0.25 {
+		t.Fatalf("overlay header = %+v", a)
+	}
+	var charged int
+	for _, c := range a.Cores {
+		if c.Core == 2 {
+			if c.Faults != 4 || c.Distortion != 0.2 || !c.Engaged {
+				t.Errorf("core 2 overlay = %+v", c)
+			}
+			charged++
+		}
+		if c.Core == 9 {
+			if c.Faults != 2 || !c.Engaged {
+				t.Errorf("core 9 overlay = %+v", c)
+			}
+			charged++
+		}
+		if c.Core != 2 && c.Core != 9 && (c.Faults != 0 || c.Engaged) {
+			t.Errorf("unengaged core %d charged: %+v", c.Core, c)
+		}
+	}
+	if charged != 2 {
+		t.Fatalf("charged %d cores, want 2", charged)
+	}
+	// A report core outside the chip is ignored, not a panic.
+	a.ApplyLedger(fault.Report{Cores: []fault.CoreReport{{Core: 999}}}, "x", "y")
+}
+
+func TestWriteJSONParses(t *testing.T) {
+	a := Build(smallChip(t))
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Atlas
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON does not parse: %v", err)
+	}
+	if len(back.Cores) != len(a.Cores) || back.ChipSeed != a.ChipSeed {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	a := Build(smallChip(t))
+	var buf bytes.Buffer
+	if err := a.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(a.Cores) {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+len(a.Cores))
+	}
+	nCols := len(strings.Split(lines[0], ","))
+	for i, l := range lines {
+		if got := len(strings.Split(l, ",")); got != nCols {
+			t.Fatalf("line %d has %d columns, header has %d", i, got, nCols)
+		}
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	a := Build(smallChip(t))
+	a.ApplyLedger(syntheticReport(), "hotspot", "drop")
+	for _, m := range Metrics() {
+		var buf bytes.Buffer
+		if err := a.WriteSVG(&buf, m); err != nil {
+			t.Fatalf("WriteSVG(%s): %v", m, err)
+		}
+		// Well-formed XML with one rect per core plus background/legend.
+		dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+		rects := 0
+		for {
+			tok, err := dec.Token()
+			if err != nil {
+				break
+			}
+			if se, ok := tok.(xml.StartElement); ok && se.Name.Local == "rect" {
+				rects++
+			}
+		}
+		if rects < len(a.Cores) {
+			t.Errorf("SVG %s has %d rects for %d cores", m, rects, len(a.Cores))
+		}
+	}
+	var buf bytes.Buffer
+	if err := a.WriteSVG(&buf, "nope"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+func TestWriteDir(t *testing.T) {
+	a := Build(smallChip(t))
+	dir := filepath.Join(t.TempDir(), "atlas")
+	paths, err := a.WriteDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2+len(Metrics()) {
+		t.Fatalf("WriteDir wrote %d files, want %d", len(paths), 2+len(Metrics()))
+	}
+	for _, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("missing artifact %s: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("artifact %s is empty", p)
+		}
+	}
+}
+
+func TestRampColorEndpoints(t *testing.T) {
+	if c := rampColor(0, 0, 1); c != "#2166ac" {
+		t.Errorf("low endpoint = %s", c)
+	}
+	if c := rampColor(1, 0, 1); c != "#b2182b" {
+		t.Errorf("high endpoint = %s", c)
+	}
+	if c := rampColor(5, 5, 5); c == "" {
+		t.Error("degenerate range produced no color")
+	}
+}

@@ -1,0 +1,67 @@
+package atlas
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenAtlas pins the exact bytes of the atlas exports for a
+// small deterministic chip with a synthetic attribution overlay. Any
+// model or renderer change that moves them must be made visible here.
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/atlas.
+func TestGoldenAtlas(t *testing.T) {
+	a := Build(smallChip(t))
+	a.ApplyLedger(syntheticReport(), "hotspot", "drop")
+
+	renders := map[string]func() ([]byte, error){
+		"golden_atlas.json": func() ([]byte, error) {
+			var buf bytes.Buffer
+			err := a.WriteJSON(&buf)
+			return buf.Bytes(), err
+		},
+		"golden_atlas.csv": func() ([]byte, error) {
+			var buf bytes.Buffer
+			err := a.WriteCSV(&buf)
+			return buf.Bytes(), err
+		},
+		"golden_atlas_vth.svg": func() ([]byte, error) {
+			var buf bytes.Buffer
+			err := a.WriteSVG(&buf, "vth")
+			return buf.Bytes(), err
+		},
+		"golden_atlas_distortion.svg": func() ([]byte, error) {
+			var buf bytes.Buffer
+			err := a.WriteSVG(&buf, "distortion")
+			return buf.Bytes(), err
+		},
+	}
+	for name, render := range renders {
+		name, render := name, render
+		t.Run(name, func(t *testing.T) {
+			got, err := render()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", name)
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s drifted from its golden output; if intentional, regenerate with UPDATE_GOLDEN=1\n--- got ---\n%s\n--- want ---\n%s",
+					name, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package atlas
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SVG geometry: each core is one cell; cluster tiles get a visible gap
+// so the die's voltage-domain structure reads at a glance.
+const (
+	svgCell    = 22 // px per core cell
+	svgGap     = 6  // px between cluster tiles
+	svgMargin  = 14 // px around the die
+	svgLegendH = 46 // px reserved under the die for the legend
+)
+
+// WriteSVG renders a standalone SVG heatmap of one metric over the
+// die: cluster tiles of core cells colored on a blue-to-red ramp
+// scaled to the metric's observed range, each cell carrying a tooltip
+// with its exact value. The output is deterministic for a given atlas
+// (integer geometry, integer-lerped colors, %.4g value formatting), so
+// golden tests can compare it byte for byte.
+func (a *Atlas) WriteSVG(w io.Writer, metric string) error {
+	vals := make([]float64, len(a.Cores))
+	lo, hi := 0.0, 0.0
+	for i, c := range a.Cores {
+		v, err := a.metricValue(c, metric)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if i == 0 || v > hi {
+			hi = v
+		}
+	}
+	tile := a.CoreSide * svgCell
+	dieW := a.GridSide*tile + (a.GridSide-1)*svgGap
+	width := dieW + 2*svgMargin
+	height := dieW + 2*svgMargin + svgLegendH
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `  <rect width="%d" height="%d" fill="#ffffff"/>`+"\n", width, height)
+	title := fmt.Sprintf("chip %d — %s", a.ChipSeed, metric)
+	if a.Bench != "" {
+		title += fmt.Sprintf(" (%s, %s)", a.Bench, a.FaultMode)
+	}
+	fmt.Fprintf(&b, `  <title>%s</title>`+"\n", xmlEscape(title))
+
+	for i, c := range a.Cores {
+		cx, cy := c.Cluster%a.GridSide, c.Cluster/a.GridSide
+		x := svgMargin + cx*(tile+svgGap) + (c.X-cx*a.CoreSide)*svgCell
+		y := svgMargin + cy*(tile+svgGap) + (c.Y-cy*a.CoreSide)*svgCell
+		fmt.Fprintf(&b, `  <rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#dddddd" stroke-width="1">`,
+			x, y, svgCell, svgCell, rampColor(vals[i], lo, hi))
+		fmt.Fprintf(&b, `<title>core %d cluster %d: %s = %.4g</title></rect>`+"\n",
+			c.Core, c.Cluster, metric, vals[i])
+	}
+
+	// Legend: the color ramp with its endpoints.
+	ly := svgMargin + dieW + 16
+	steps := 24
+	lw := dieW / steps
+	for s := 0; s < steps; s++ {
+		frac := float64(s) / float64(steps-1)
+		v := lo + frac*(hi-lo)
+		fmt.Fprintf(&b, `  <rect x="%d" y="%d" width="%d" height="10" fill="%s"/>`+"\n",
+			svgMargin+s*lw, ly, lw, rampColor(v, lo, hi))
+	}
+	fmt.Fprintf(&b, `  <text x="%d" y="%d" font-family="monospace" font-size="11">%.4g</text>`+"\n",
+		svgMargin, ly+24, lo)
+	fmt.Fprintf(&b, `  <text x="%d" y="%d" font-family="monospace" font-size="11" text-anchor="end">%.4g</text>`+"\n",
+		svgMargin+dieW, ly+24, hi)
+	fmt.Fprintf(&b, `  <text x="%d" y="%d" font-family="monospace" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		width/2, ly+24, xmlEscape(metric))
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// rampColor maps v in [lo, hi] onto a blue-to-red ramp via integer
+// interpolation (no float-formatting in the color channel, so the SVG
+// bytes are platform-stable). A degenerate range renders mid-ramp.
+func rampColor(v, lo, hi float64) string {
+	frac := 0.5
+	if hi > lo {
+		frac = (v - lo) / (hi - lo)
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	// #2166ac (blue) -> #f7f7f7 (white) -> #b2182b (red), the classic
+	// diverging map.
+	type rgb struct{ r, g, b int }
+	blue, white, red := rgb{0x21, 0x66, 0xac}, rgb{0xf7, 0xf7, 0xf7}, rgb{0xb2, 0x18, 0x2b}
+	lerp := func(a, b rgb, t float64) rgb {
+		return rgb{
+			a.r + int(t*float64(b.r-a.r)),
+			a.g + int(t*float64(b.g-a.g)),
+			a.b + int(t*float64(b.b-a.b)),
+		}
+	}
+	var c rgb
+	if frac < 0.5 {
+		c = lerp(blue, white, frac*2)
+	} else {
+		c = lerp(white, red, (frac-0.5)*2)
+	}
+	return fmt.Sprintf("#%02x%02x%02x", c.r, c.g, c.b)
+}
+
+// xmlEscape escapes the five XML special characters for text nodes.
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/tech"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/events"
 	"repro/internal/telemetry/trace"
 	"repro/internal/variation"
 )
@@ -239,6 +240,11 @@ func (f *Factory) Sample(seed int64) *Chip {
 	}
 	ch.deriveVoltages()
 	telChipsDrawn.Inc()
+	events.New("chip.drawn").
+		Int("seed", seed).
+		Int("cores", int64(len(ch.Cores))).
+		Float("vddntv", ch.vddNTV).
+		Emit()
 	if !start.IsZero() {
 		telDrawNs.Observe(time.Since(start).Nanoseconds())
 	}

@@ -282,8 +282,7 @@ func ProgressLine(target int, elapsed time.Duration) string {
 		fmt.Fprintf(&b, "/%d", target)
 	}
 	fmt.Fprintf(&b, " elapsed=%s", elapsed.Round(100*time.Millisecond))
-	if target > 0 && done > 0 && done < int64(target) {
-		eta := time.Duration(float64(elapsed) / float64(done) * float64(int64(target)-done))
+	if eta, ok := etaFor(done, target, elapsed); ok {
 		fmt.Fprintf(&b, " eta=%s", eta.Round(100*time.Millisecond))
 	}
 	for _, s := range snap.Series {
@@ -293,4 +292,22 @@ func ProgressLine(target int, elapsed time.Duration) string {
 		fmt.Fprintf(&b, " | %s %.4g±%.2g %s", s.Name, s.Mean, s.CI95, s.Unit)
 	}
 	return b.String()
+}
+
+// etaFor estimates the remaining wall time from linear extrapolation
+// of done/target over elapsed. The second return is false whenever no
+// meaningful estimate exists: no target, nothing done yet, already at
+// or past the target, an elapsed at or below the timer's resolution
+// (a sub-tick wall time would extrapolate to a garbage ETA of zero),
+// or an extrapolation too large for a time.Duration — so the progress
+// line never prints a NaN, an Inf, or a wrapped-around ETA.
+func etaFor(done int64, target int, elapsed time.Duration) (time.Duration, bool) {
+	if target <= 0 || done <= 0 || done >= int64(target) || elapsed <= 0 {
+		return 0, false
+	}
+	eta := float64(elapsed) / float64(done) * float64(int64(target)-done)
+	if math.IsNaN(eta) || math.IsInf(eta, 0) || eta >= float64(math.MaxInt64) {
+		return 0, false
+	}
+	return time.Duration(eta), true
 }

@@ -186,3 +186,72 @@ func TestGaugeMirror(t *testing.T) {
 		t.Fatalf("mean_micro gauge = %d, want 2000000", mean)
 	}
 }
+
+// TestEtaFor pins the ETA guard table: no estimate without a target,
+// without progress, at/past the target, or below timer resolution —
+// and a sane linear extrapolation otherwise.
+func TestEtaFor(t *testing.T) {
+	cases := []struct {
+		name    string
+		done    int64
+		target  int
+		elapsed time.Duration
+		want    time.Duration
+		ok      bool
+	}{
+		{"no target", 5, 0, time.Second, 0, false},
+		{"negative target", 5, -3, time.Second, 0, false},
+		{"nothing done", 0, 100, time.Second, 0, false},
+		{"zero elapsed", 10, 100, 0, 0, false},
+		{"negative elapsed", 10, 100, -time.Second, 0, false},
+		{"at target", 100, 100, time.Second, 0, false},
+		{"past target", 150, 100, time.Second, 0, false},
+		{"halfway", 50, 100, 10 * time.Second, 10 * time.Second, true},
+		{"one done", 1, 4, time.Second, 3 * time.Second, true},
+		{"overflow", 1, math.MaxInt32, math.MaxInt64, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := etaFor(tc.done, tc.target, tc.elapsed)
+			if ok != tc.ok || got != tc.want {
+				t.Fatalf("etaFor(%d, %d, %s) = (%s, %v), want (%s, %v)",
+					tc.done, tc.target, tc.elapsed, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+// TestProgressLineNeverNaN: the edge cases the ETA guard exists for —
+// zero chips done and sub-resolution wall time — must render clean
+// lines with no NaN/Inf and no ETA.
+func TestProgressLineNeverNaN(t *testing.T) {
+	defer SetEnabled(true)()
+	Reset()
+	defer Reset()
+
+	// Zero chips done, target set.
+	for _, elapsed := range []time.Duration{0, time.Nanosecond, time.Second} {
+		line := ProgressLine(100, elapsed)
+		if strings.Contains(line, "NaN") || strings.Contains(line, "Inf") {
+			t.Fatalf("progress line with no chips contains NaN/Inf: %q", line)
+		}
+		if strings.Contains(line, "eta=") {
+			t.Fatalf("progress line with no chips prints an ETA: %q", line)
+		}
+	}
+
+	// Chips done but wall time below timer resolution.
+	Observe("chip.fmax_ghz", "GHz", 1.0)
+	line := ProgressLine(100, 0)
+	if strings.Contains(line, "NaN") || strings.Contains(line, "Inf") {
+		t.Fatalf("sub-resolution progress line contains NaN/Inf: %q", line)
+	}
+	if strings.Contains(line, "eta=") {
+		t.Fatalf("sub-resolution progress line prints an ETA: %q", line)
+	}
+	// With real elapsed time the ETA returns.
+	line = ProgressLine(100, time.Second)
+	if !strings.Contains(line, "eta=") {
+		t.Fatalf("progress line with progress and elapsed lost its ETA: %q", line)
+	}
+}

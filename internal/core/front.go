@@ -9,6 +9,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/parallel"
 	"repro/internal/rms"
+	"repro/internal/telemetry/events"
 	"repro/internal/telemetry/trace"
 )
 
@@ -82,11 +83,24 @@ func MeasureFrontsCtx(ctx context.Context, b rms.Benchmark, seed int64) (*Qualit
 		if err != nil {
 			return 0, fmt.Errorf("core: %s %s at input %g: %w", b.Name(), sc.name, in, err)
 		}
-		return b.Quality(res, ref)
+		q, err := b.Quality(res, ref)
+		if err == nil {
+			events.New("quality.scored").
+				Str("bench", b.Name()).
+				Str("scenario", sc.name).
+				Float("input", in).
+				Float("quality", q).
+				Emit()
+		}
+		return q, err
 	})
 	if err != nil {
 		return nil, err
 	}
+	events.New("front.measured").
+		Str("bench", b.Name()).
+		Int("cells", int64(len(qualities))).
+		Emit()
 
 	qm := &QualityModel{Benchmark: b.Name()}
 	for s, sc := range scenarios {

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestRunAttribution is the acceptance check at the experiments layer:
+// the attributed run's ledger must charge per-core contributions that
+// sum to the run's total fault-caused distortion within 1e-9.
+func TestRunAttribution(t *testing.T) {
+	res, err := RunAttribution(context.Background(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bench != "hotspot" || res.Mode != "drop" {
+		t.Fatalf("attributed run = %s/%s", res.Bench, res.Mode)
+	}
+	rep := res.Report
+	if rep.Injections == 0 {
+		t.Fatal("no injections recorded under Drop 1/4")
+	}
+	if rep.TotalDistortion <= 0 {
+		t.Fatalf("total distortion = %v", rep.TotalDistortion)
+	}
+	var sum float64
+	for _, c := range rep.Cores {
+		sum += c.Distortion
+		if c.Core < 0 || c.Core >= len(res.Chip.Cores) {
+			t.Errorf("report names core %d outside the chip", c.Core)
+		}
+	}
+	if math.Abs(sum-rep.TotalDistortion) > 1e-9 {
+		t.Fatalf("per-core sum %v != total %v", sum, rep.TotalDistortion)
+	}
+	// The report is sorted worst-first and the run is deterministic, so
+	// a second run must agree exactly.
+	res2, err := RunAttribution(context.Background(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Report.Cores) != len(rep.Cores) ||
+		res2.Report.TotalDistortion != rep.TotalDistortion {
+		t.Fatalf("attribution is not deterministic: %+v vs %+v", res2.Report, rep)
+	}
+}

@@ -88,6 +88,10 @@ type Plan struct {
 	// sized window instead of spacing them uniformly; it exists for the
 	// drop-pattern ablation (the paper drops uniformly).
 	Contiguous bool
+	// Ledger, when non-nil, receives (chip, cluster, core, task,
+	// iteration) provenance for every injection the kernels Note. It
+	// never affects which tasks are infected or how values corrupt.
+	Ledger *Ledger
 }
 
 // NewPlan builds a plan infecting num of every den tasks under mode.

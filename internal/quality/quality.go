@@ -38,6 +38,36 @@ func Distortion(out, ref []float64) (float64, error) {
 	return sum / float64(len(ref)), nil
 }
 
+// Contributions decomposes Distortion(out, ref) value by value:
+// element i of the result is output value i's relative error divided
+// by the value count, using exactly Distortion's denominator rule, so
+// the contributions sum to the total distortion (up to float rounding).
+// The decomposition is what lets a fault-attribution ledger charge the
+// distortion of each output value to the core that produced it.
+func Contributions(out, ref []float64) ([]float64, error) {
+	if len(out) != len(ref) {
+		return nil, fmt.Errorf("quality: length mismatch %d vs %d", len(out), len(ref))
+	}
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("quality: empty outputs")
+	}
+	scale := rms(ref)
+	if scale == 0 {
+		scale = 1
+	}
+	eps := 1e-9 * scale
+	n := float64(len(ref))
+	contrib := make([]float64, len(ref))
+	for i := range ref {
+		den := math.Abs(ref[i])
+		if den < eps {
+			den = scale
+		}
+		contrib[i] = math.Abs(out[i]-ref[i]) / den / n
+	}
+	return contrib, nil
+}
+
 // Quality returns 1 - Distortion(out, ref). A perfect match scores 1;
 // heavily corrupted outputs can score below zero.
 func Quality(out, ref []float64) (float64, error) {

@@ -146,3 +146,42 @@ func TestRelative(t *testing.T) {
 		t.Error("zero default should give NaN")
 	}
 }
+
+func TestContributionsSumToDistortion(t *testing.T) {
+	ref := []float64{10, 0, -30, 4.5, 1e-12, 7}
+	out := []float64{11, 2, -33, 4.5, -5, 6}
+	d, err := Distortion(out, ref)
+	if err != nil {
+		t.Fatalf("Distortion: %v", err)
+	}
+	contrib, err := Contributions(out, ref)
+	if err != nil {
+		t.Fatalf("Contributions: %v", err)
+	}
+	if len(contrib) != len(ref) {
+		t.Fatalf("got %d contributions for %d values", len(contrib), len(ref))
+	}
+	var sum float64
+	for i, c := range contrib {
+		if c < 0 {
+			t.Errorf("contribution %d = %g < 0", i, c)
+		}
+		sum += c
+	}
+	if math.Abs(sum-d) > 1e-12 {
+		t.Fatalf("contributions sum to %g, Distortion = %g", sum, d)
+	}
+	// A perfect value contributes exactly zero.
+	if contrib[3] != 0 {
+		t.Errorf("exact-match value contributes %g, want 0", contrib[3])
+	}
+}
+
+func TestContributionsErrors(t *testing.T) {
+	if _, err := Contributions([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Contributions(nil, nil); err == nil {
+		t.Error("empty outputs accepted")
+	}
+}

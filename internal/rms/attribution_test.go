@@ -1,0 +1,119 @@
+package rms
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/quality"
+	"repro/internal/sim"
+)
+
+// stubBench is a minimal Benchmark for exercising the attribution
+// helpers without pulling in a kernel package (which would cycle).
+type stubBench struct{ owned bool }
+
+func (s *stubBench) Name() string              { return "stub" }
+func (s *stubBench) Domain() string            { return "testing" }
+func (s *stubBench) AccordionInput() string    { return "n" }
+func (s *stubBench) QualityMetricName() string { return "none" }
+func (s *stubBench) DefaultInput() float64     { return 1 }
+func (s *stubBench) HyperInput() float64       { return 1 }
+func (s *stubBench) Sweep() []float64          { return []float64{1} }
+func (s *stubBench) ProblemSize(float64) float64 {
+	return 1
+}
+func (s *stubBench) Run(input float64, threads int, plan fault.Plan, seed int64) (Result, error) {
+	return Result{Output: []float64{1}, Ops: 1}, nil
+}
+func (s *stubBench) Quality(run, ref Result) (float64, error) { return 1, nil }
+func (s *stubBench) DependencePS() Dependence                 { return Linear }
+func (s *stubBench) DependenceQ() Dependence                  { return Linear }
+func (s *stubBench) Profile() sim.WorkProfile                 { return sim.WorkProfile{} }
+func (s *stubBench) Trace() sim.TraceSpec                     { return sim.TraceSpec{} }
+func (s *stubBench) DefaultThreads() int                      { return 4 }
+
+// ownedBench additionally pins every value on task 2.
+type ownedBench struct{ stubBench }
+
+func (o *ownedBench) OwnerOfValue(i, nValues, threads int) int { return 2 }
+
+func TestOwnerOfValueFallback(t *testing.T) {
+	b := &stubBench{}
+	// Block partition: 8 values over 4 threads -> 2 values per thread.
+	for i := 0; i < 8; i++ {
+		if got, want := OwnerOfValue(b, i, 8, 4), i/2; got != want {
+			t.Errorf("OwnerOfValue(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := OwnerOfValue(b, 100, 8, 4); got != 3 {
+		t.Errorf("out-of-range index clamped to %d, want 3", got)
+	}
+	if got := OwnerOfValue(b, 0, 0, 4); got != 0 {
+		t.Errorf("degenerate nValues owner = %d, want 0", got)
+	}
+	if got := OwnerOfValue(&ownedBench{}, 5, 8, 4); got != 2 {
+		t.Errorf("ValueOwner implementation ignored: owner = %d, want 2", got)
+	}
+}
+
+func TestAttributeChargesLedger(t *testing.T) {
+	ref := Result{Output: []float64{10, 10, 10, 10, 20, 20, 20, 20}}
+	run := Result{Output: []float64{10, 10, 11, 11, 20, 20, 20, 30}}
+	wantTotal, err := quality.Distortion(run.Output, ref.Output)
+	if err != nil {
+		t.Fatalf("Distortion: %v", err)
+	}
+
+	led, err := fault.NewLedger(42, []fault.CoreRef{
+		{Core: 0, Cluster: 0}, {Core: 1, Cluster: 0},
+		{Core: 2, Cluster: 1}, {Core: 3, Cluster: 1},
+	})
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	total, err := Attribute(&stubBench{}, run, ref, 4, led)
+	if err != nil {
+		t.Fatalf("Attribute: %v", err)
+	}
+	if math.Abs(total-wantTotal) > 1e-15 {
+		t.Fatalf("Attribute total = %v, Distortion = %v", total, wantTotal)
+	}
+	rep := led.Report()
+	if math.Abs(rep.TotalDistortion-total) > 1e-9 {
+		t.Fatalf("ledger total %v != attributed total %v", rep.TotalDistortion, total)
+	}
+	var sum float64
+	for _, c := range rep.Cores {
+		sum += c.Distortion
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Fatalf("per-core contributions sum to %v, want %v", sum, total)
+	}
+	// Values 2,3 belong to task 1 (core 1); value 7 to task 3 (core 3).
+	// Cores 0 and 2 produced perfect values and must not appear.
+	for _, c := range rep.Cores {
+		if c.Core == 0 || c.Core == 2 {
+			t.Errorf("clean core %d charged %v", c.Core, c.Distortion)
+		}
+	}
+}
+
+func TestAttributeNilLedgerAndErrors(t *testing.T) {
+	ref := Result{Output: []float64{1, 2}}
+	run := Result{Output: []float64{1, 3}}
+	total, err := Attribute(&stubBench{}, run, ref, 2, nil)
+	if err != nil {
+		t.Fatalf("Attribute with nil ledger: %v", err)
+	}
+	want, _ := quality.Distortion(run.Output, ref.Output)
+	if math.Abs(total-want) > 1e-15 {
+		t.Fatalf("total = %v, want %v", total, want)
+	}
+	if _, err := Attribute(&stubBench{}, run, ref, 0, nil); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := Attribute(&stubBench{}, Result{}, ref, 2, nil); err == nil {
+		t.Error("mismatched outputs accepted")
+	}
+}

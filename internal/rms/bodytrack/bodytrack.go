@@ -164,6 +164,9 @@ func (b *Benchmark) Run(input float64, threads int, plan fault.Plan, seed int64)
 			sum := 0.0
 			for i := 0; i < p; i++ {
 				t := owner(i)
+				if plan.Infected(t) && plan.Active() && (i == 0 || owner(i-1) != t) {
+					plan.Note(t, f*layers+l)
+				}
 				if plan.Mode == fault.Drop && plan.Infected(t) {
 					weights[i] = 0 // weight computation prevented
 					continue

@@ -127,13 +127,18 @@ func (b *Benchmark) Run(input float64, threads int, plan fault.Plan, seed int64)
 		lo := uint64(t) * volume / uint64(threads)
 		hi := uint64(t+1) * volume / uint64(threads)
 		if plan.Mode == fault.Drop && plan.Infected(t) {
+			plan.Note(t, -1)
 			continue // the shard is never searched
+		}
+		corrupted := plan.Active() && plan.Mode != fault.Drop && plan.Infected(t)
+		if corrupted {
+			plan.Note(t, -1)
 		}
 		for nonce := lo; nonce < hi; nonce++ {
 			ops++
 			if b.solves(nonce) {
 				v := float64(nonce)
-				if plan.Active() && plan.Mode != fault.Drop && plan.Infected(t) {
+				if corrupted {
 					// A corrupted submission is rejected by validation
 					// unless it still names a true solution.
 					v = plan.CorruptValue(v, t)

@@ -232,6 +232,9 @@ func (b *Benchmark) Run(input float64, threads int, plan fault.Plan, seed int64)
 	for step := 0; step < b.tempSteps; step++ {
 		for t := 0; t < threads; t++ {
 			infected := plan.Infected(t)
+			if infected {
+				plan.Note(t, step)
+			}
 			if infected && plan.Mode == fault.Drop {
 				continue // swap() suppressed for dropped threads
 			}

@@ -162,19 +162,24 @@ func (b *Benchmark) Run(input float64, threads int, plan fault.Plan, seed int64)
 		score float64
 	}
 	out := make([]float64, 0, len(b.db.Queries)*TopN)
-	for _, query := range b.db.Queries {
+	for qi, query := range b.db.Queries {
 		q := workload.Coarsen(query, nRegions)
 		var cands []cand
 		// Data-parallel phase: each task scans one database shard.
 		for t := 0; t < threads; t++ {
 			if plan.Mode == fault.Drop && plan.Infected(t) {
+				plan.Note(t, qi)
 				continue // shard results never reach the control core
+			}
+			corrupt := plan.Active() && plan.Mode != fault.Drop && plan.Infected(t)
+			if corrupt {
+				plan.Note(t, qi)
 			}
 			lo, hi := t*nImages/threads, (t+1)*nImages/threads
 			for i := lo; i < hi; i++ {
 				score, cmp := similarity(q, b.db.Images[i])
 				ops += float64(cmp)
-				if plan.Active() && plan.Mode != fault.Drop && plan.Infected(t) {
+				if corrupt {
 					score = plan.CorruptValue(score, t)
 				}
 				cands = append(cands, cand{id: i, score: score})

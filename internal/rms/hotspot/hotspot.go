@@ -127,6 +127,9 @@ func (b *Benchmark) Run(input float64, threads int, plan fault.Plan, seed int64)
 			// set of rows. An infected task skips the equation solve and
 			// leaves its cells stale for this iteration (footnote 1).
 			if plan.Mode == fault.Drop && plan.Infected((t+it)%threads) {
+				if y == 0 || rowOwner(y-1) != t {
+					plan.Note((t+it)%threads, it)
+				}
 				// The equation is not solved for these cells; copy the
 				// stale values forward.
 				for x := 0; x < w; x++ {
@@ -164,6 +167,9 @@ func (b *Benchmark) Run(input float64, threads int, plan fault.Plan, seed int64)
 		for y := 0; y < h; y++ {
 			t := rowOwner(y)
 			if plan.Infected(t) {
+				if y == 0 || rowOwner(y-1) != t {
+					plan.Note(t, -1)
+				}
 				for x := 0; x < w; x++ {
 					out[y*w+x] = clampTemp(plan.CorruptValue(out[y*w+x], t))
 				}
@@ -181,6 +187,16 @@ func (b *Benchmark) Run(input float64, threads int, plan fault.Plan, seed int64)
 // clampTemp bounds a corrupted temperature rise to a physical range, as
 // the application's sanity check would.
 func clampTemp(v float64) float64 { return mathx.Clamp(v, -1e3, 1e3) }
+
+// OwnerOfValue implements rms.ValueOwner: output value i is a grid
+// cell, owned by the row band of its y coordinate.
+func (b *Benchmark) OwnerOfValue(i, nValues, threads int) int {
+	if nValues != b.w*b.h || threads <= 0 {
+		return 0
+	}
+	y := i / b.w
+	return y * threads / b.h
+}
 
 // Quality implements rms.Benchmark: 1 minus the SSD-based relative
 // distortion (normalized RMS error of the temperature field against the

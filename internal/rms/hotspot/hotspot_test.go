@@ -169,3 +169,71 @@ func mustQuality(t *testing.T, b rms.Benchmark, input float64, ref rms.Result) f
 	}
 	return q
 }
+
+func TestOwnerOfValue(t *testing.T) {
+	b := New()
+	n := b.w * b.h
+	threads := 8
+	for _, i := range []int{0, b.w - 1, b.w, n - 1} {
+		y := i / b.w
+		if got, want := b.OwnerOfValue(i, n, threads), y*threads/b.h; got != want {
+			t.Errorf("OwnerOfValue(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := b.OwnerOfValue(0, 3, threads); got != 0 {
+		t.Errorf("mismatched value count owner = %d, want 0", got)
+	}
+}
+
+// TestAttributionLedgerSums is the end-to-end acceptance check: a Drop
+// run's ledger charges per-core distortion contributions that sum to
+// the run's total fault-caused distortion within 1e-9.
+func TestAttributionLedgerSums(t *testing.T) {
+	b := New()
+	threads := 8
+	cores := make([]fault.CoreRef, threads)
+	for i := range cores {
+		cores[i] = fault.CoreRef{Core: 100 + i, Cluster: i / 4}
+	}
+	led, err := fault.NewLedger(2014, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.DropQuarter()
+	plan.Ledger = led
+	run, err := b.Run(b.DefaultInput(), threads, plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := b.Run(b.DefaultInput(), threads, fault.Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := rms.Attribute(b, run, ref, threads, led)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Fatalf("Drop 1/4 caused no distortion (%v)", total)
+	}
+	rep := led.Report()
+	if rep.Injections == 0 {
+		t.Fatal("ledger recorded no injections")
+	}
+	if math.Abs(rep.TotalDistortion-total) > 1e-9 {
+		t.Fatalf("ledger total %v != attributed total %v", rep.TotalDistortion, total)
+	}
+	var sum float64
+	for _, c := range rep.Cores {
+		sum += c.Distortion
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Fatalf("per-core sum %v != total %v", sum, total)
+	}
+	if rep.TopShare(len(rep.Cores)) < 1-1e-9 {
+		t.Fatalf("TopShare over all cores = %v, want 1", rep.TopShare(len(rep.Cores)))
+	}
+	if rep.Cores[0].Faults == 0 {
+		t.Error("worst core has no recorded faults")
+	}
+}

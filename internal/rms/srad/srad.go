@@ -120,6 +120,9 @@ func (b *Benchmark) Run(input float64, threads int, plan fault.Plan, seed int64)
 		// Pass 1: ICOV and diffusion coefficient per cell.
 		for y := 0; y < h; y++ {
 			if plan.Mode == fault.Drop && plan.Infected((rowOwner(y)+it)%threads) {
+				if y == 0 || rowOwner(y-1) != rowOwner(y) {
+					plan.Note((rowOwner(y)+it)%threads, it)
+				}
 				continue // derivatives/ICOV/coefficients skipped
 			}
 			for x := 0; x < w; x++ {
@@ -168,6 +171,9 @@ func (b *Benchmark) Run(input float64, threads int, plan fault.Plan, seed int64)
 		for y := 0; y < h; y++ {
 			t := rowOwner(y)
 			if plan.Infected(t) {
+				if y == 0 || rowOwner(y-1) != t {
+					plan.Note(t, -1)
+				}
 				for x := 0; x < w; x++ {
 					out[y*w+x] = mathx.Clamp(plan.CorruptValue(out[y*w+x], t), 0, 255)
 				}
@@ -175,6 +181,16 @@ func (b *Benchmark) Run(input float64, threads int, plan fault.Plan, seed int64)
 		}
 	}
 	return rms.Result{Output: out, Ops: ops}, nil
+}
+
+// OwnerOfValue implements rms.ValueOwner: output value i is an image
+// pixel, owned by the row band of its y coordinate.
+func (b *Benchmark) OwnerOfValue(i, nValues, threads int) int {
+	if nValues != b.w*b.h || threads <= 0 {
+		return 0
+	}
+	y := i / b.w
+	return y * threads / b.h
 }
 
 func clampIdx(i, n int) int {

@@ -81,3 +81,18 @@ func TestTable3Classification(t *testing.T) {
 		t.Error("srad should be linear/linear per Table 3")
 	}
 }
+
+func TestOwnerOfValue(t *testing.T) {
+	b := New()
+	n := b.w * b.h
+	threads := 4
+	for _, i := range []int{0, b.w, n - 1} {
+		y := i / b.w
+		if got, want := b.OwnerOfValue(i, n, threads), y*threads/b.h; got != want {
+			t.Errorf("OwnerOfValue(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := b.OwnerOfValue(0, 5, threads); got != 0 {
+		t.Errorf("mismatched value count owner = %d, want 0", got)
+	}
+}

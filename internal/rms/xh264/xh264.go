@@ -177,6 +177,7 @@ func (b *Benchmark) Run(input float64, threads int, plan fault.Plan, seed int64)
 		// Slices are per-frame task sets, so uniformly dropped tasks
 		// rotate across slice positions from frame to frame.
 		if plan.Mode == fault.Drop && plan.Infected((t+frame)%threads) {
+			plan.Note((t+frame)%threads, frame)
 			// Macroblock encoding prohibited: the decoder conceals the
 			// missing block from the co-located block of the previous
 			// decoded frame (mid-gray on the first frame).
@@ -253,6 +254,9 @@ func (b *Benchmark) Run(input float64, threads int, plan fault.Plan, seed int64)
 		b.inverseDCT(&coef, &blk)
 		ops += 2 * blockSize * blockSize * blockSize
 		corrupt := plan.Active() && plan.Mode != fault.Drop && plan.Infected(t)
+		if corrupt {
+			plan.Note(t, frame)
+		}
 		for y := 0; y < blockSize; y++ {
 			for x := 0; x < blockSize; x++ {
 				v := mathx.Clamp(blk[y][x]+pred[y][x], 0, 255)
@@ -264,6 +268,23 @@ func (b *Benchmark) Run(input float64, threads int, plan fault.Plan, seed int64)
 		}
 	}
 	return rms.Result{Output: out, Ops: ops}, nil
+}
+
+// OwnerOfValue implements rms.ValueOwner: output value i is a decoded
+// pixel, owned by the task that encoded its macroblock.
+func (b *Benchmark) OwnerOfValue(i, nValues, threads int) int {
+	if nValues != numFrames*frameW*frameH || threads <= 0 {
+		return 0
+	}
+	blocksX := frameW / blockSize
+	blocksPerFrame := blocksX * (frameH / blockSize)
+	totalBlocks := numFrames * blocksPerFrame
+	frame := i / (frameW * frameH)
+	pix := i % (frameW * frameH)
+	x, y := pix%frameW, pix/frameW
+	bi := (y/blockSize)*blocksX + x/blockSize
+	mb := frame*blocksPerFrame + bi
+	return mb * threads / totalBlocks
 }
 
 // forwardDCT computes dst = D * src * D^T.

@@ -158,3 +158,27 @@ func TestTable3Classification(t *testing.T) {
 		t.Error("x264 should be complex/linear per Table 3")
 	}
 }
+
+func TestOwnerOfValue(t *testing.T) {
+	b := New()
+	n := numFrames * frameW * frameH
+	threads := 16
+	blocksX := frameW / blockSize
+	blocksPerFrame := blocksX * (frameH / blockSize)
+	totalBlocks := numFrames * blocksPerFrame
+	check := func(i int) {
+		frame := i / (frameW * frameH)
+		pix := i % (frameW * frameH)
+		x, y := pix%frameW, pix/frameW
+		mb := frame*blocksPerFrame + (y/blockSize)*blocksX + x/blockSize
+		if got, want := b.OwnerOfValue(i, n, threads), mb*threads/totalBlocks; got != want {
+			t.Errorf("OwnerOfValue(%d) = %d, want %d", i, got, want)
+		}
+	}
+	for _, i := range []int{0, blockSize, frameW * blockSize, frameW * frameH, n - 1} {
+		check(i)
+	}
+	if got := b.OwnerOfValue(0, 7, threads); got != 0 {
+		t.Errorf("mismatched value count owner = %d, want 0", got)
+	}
+}

@@ -1,0 +1,44 @@
+package events
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// PathFlag registers the shared -events flag on fs and returns the
+// destination. Every cmd binary uses this one helper so the flag's
+// name and usage string cannot drift between tools.
+func PathFlag(fs *flag.FlagSet) *string {
+	return fs.String("events", "",
+		"record simulation-domain events and write them as NDJSON to this file")
+}
+
+// StartPath acts on a -events flag value: the empty path leaves event
+// logging off and returns a no-op finish, any other path enables
+// recording and returns a finish function that dumps the ring to the
+// file. Callers invoke finish unconditionally, typically deferred:
+//
+//	finishEvents, err := events.StartPath(*eventsPath)
+//	...
+//	defer finishEvents()
+func StartPath(path string) (finish func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	SetEnabled(true)
+	return func() error {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("events: %w", err)
+		}
+		if err := Dump(f); err != nil {
+			f.Close()
+			return fmt.Errorf("events: writing %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("events: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,13 @@
+package events
+
+import "repro/internal/telemetry"
+
+// The event log mirrors its own health into the telemetry registry so
+// a /metricsz scrape shows whether domain events are flowing and
+// whether the ring has silently overwritten any (events_dropped > 0
+// means the NDJSON dump is missing its oldest events). The mirrors are
+// plain telemetry handles, so they cost nothing while telemetry is off.
+var (
+	telEmitted = telemetry.GetCounter("events.emitted")
+	telDropped = telemetry.GetGauge("events.dropped")
+)

@@ -1,0 +1,16 @@
+package events
+
+import "net/http"
+
+// Handler returns the /eventsz endpoint: the current ring contents as
+// NDJSON. Like /telemetryz, it serves whatever has been recorded so
+// far — an empty body simply means event logging is off or nothing has
+// happened yet — and disables caching so a live scrape never sees a
+// stale snapshot.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-cache")
+		_ = Dump(w)
+	})
+}

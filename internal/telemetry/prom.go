@@ -81,6 +81,7 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 func MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", promContentType)
+		w.Header().Set("Cache-Control", "no-cache")
 		if err := Capture().WriteProm(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}

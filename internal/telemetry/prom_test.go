@@ -84,3 +84,26 @@ func TestPromName(t *testing.T) {
 		}
 	}
 }
+
+// TestEndpointCacheHeaders: both scrape endpoints must disable caching
+// and declare their content types, so a proxy never serves a stale
+// snapshot.
+func TestEndpointCacheHeaders(t *testing.T) {
+	rec := httptest.NewRecorder()
+	MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metricsz", nil))
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-cache" {
+		t.Errorf("/metricsz Cache-Control = %q, want no-cache", cc)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != promContentType {
+		t.Errorf("/metricsz Content-Type = %q", ct)
+	}
+
+	rec = httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/telemetryz", nil))
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-cache" {
+		t.Errorf("/telemetryz Cache-Control = %q, want no-cache", cc)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/telemetryz Content-Type = %q", ct)
+	}
+}

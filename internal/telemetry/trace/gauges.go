@@ -1,0 +1,10 @@
+package trace
+
+import "repro/internal/telemetry"
+
+// telDropped mirrors the arena's drop counter into the telemetry
+// registry, so a /metricsz scrape shows trace_dropped > 0 whenever the
+// Chrome trace export is silently missing events. The handle is
+// nil-safe and gated on the telemetry switch, so the mirror costs one
+// atomic load on the (already rare) overflow path.
+var telDropped = telemetry.GetGauge("trace.dropped")

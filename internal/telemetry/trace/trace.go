@@ -273,7 +273,7 @@ func record(e Event) {
 	}
 	idx := sl.n.Add(1) - 1
 	if idx >= stripeCap {
-		arena.dropped.Add(1)
+		telDropped.Set(arena.dropped.Add(1))
 		return
 	}
 	sl.ev[idx] = e
@@ -292,6 +292,7 @@ func Reset() {
 		arena.stripes[i].Store(nil)
 	}
 	arena.dropped.Store(0)
+	telDropped.Set(0)
 	epoch.Store(time.Now().UnixNano())
 }
 

@@ -4,8 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // eventByName finds one collected event by span name.
@@ -268,5 +272,40 @@ func TestEndAfterDisable(t *testing.T) {
 	sp.End()
 	if len(Collect()) != 1 {
 		t.Fatal("span started while enabled was lost at End")
+	}
+}
+
+// TestDroppedGaugeMirror: once the arena overflows, the drop count is
+// visible as a telemetry gauge and rendered on /metricsz, so silently
+// truncated traces are observable.
+func TestDroppedGaugeMirror(t *testing.T) {
+	restoreTel := telemetry.SetEnabled(true)
+	defer restoreTel()
+	Reset()
+	defer Reset()
+
+	// Fill one stripe past its capacity; the overflow increments the
+	// arena counter and mirrors it into the gauge.
+	const over = 7
+	for i := 0; i < stripeCap+over; i++ {
+		record(Event{TID: 1})
+	}
+	if d := Dropped(); d != over {
+		t.Fatalf("Dropped() = %d, want %d", d, over)
+	}
+	if v := telemetry.GetGauge("trace.dropped").Value(); v != over {
+		t.Fatalf("trace.dropped gauge = %d, want %d", v, over)
+	}
+
+	rec := httptest.NewRecorder()
+	telemetry.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metricsz", nil))
+	if !strings.Contains(rec.Body.String(), "trace_dropped 7") {
+		t.Fatalf("/metricsz missing trace_dropped:\n%s", rec.Body.String())
+	}
+
+	// Reset clears both the arena counter and the mirror.
+	Reset()
+	if v := telemetry.GetGauge("trace.dropped").Value(); v != 0 {
+		t.Fatalf("gauge after Reset = %d, want 0", v)
 	}
 }

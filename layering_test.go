@@ -12,31 +12,33 @@ import (
 // invariant. Each internal package may import only the internal
 // packages listed here (stdlib is always allowed).
 var allowedDeps = map[string][]string{
-	"mathx":           {},
-	"telemetry":       {},
-	"telemetry/trace": {},
-	"converge":        {"telemetry"},
-	"provenance":      {},
-	"parallel":        {"telemetry", "telemetry/trace"},
-	"tech":            {"mathx"},
-	"variation":       {"mathx", "parallel"},
-	"chip":            {"converge", "mathx", "parallel", "tech", "telemetry", "telemetry/trace", "variation"},
-	"power":           {"chip"},
-	"sim":             {"mathx"},
-	"quality":         {},
-	"fault":           {"mathx"},
-	"workload":        {"mathx"},
-	"rms":             {"fault", "parallel", "sim"},
-	"rms/canneal":     {"fault", "mathx", "rms", "sim", "workload"},
-	"rms/ferret":      {"fault", "rms", "sim", "workload"},
-	"rms/bodytrack":   {"fault", "mathx", "quality", "rms", "sim", "workload"},
-	"rms/xh264":       {"fault", "mathx", "quality", "rms", "sim", "workload"},
-	"rms/hotspot":     {"fault", "mathx", "quality", "rms", "sim", "workload"},
-	"rms/srad":        {"fault", "mathx", "quality", "rms", "sim", "workload"},
-	"rms/btcmine":     {"fault", "rms", "sim"},
-	"rms/rmstest":     {"fault", "rms", "sim"},
-	"core":            {"chip", "fault", "mathx", "parallel", "power", "rms", "sim", "tech", "telemetry/trace"},
-	"baseline":        {"chip", "power"},
+	"mathx":            {},
+	"telemetry":        {},
+	"telemetry/trace":  {"telemetry"},
+	"telemetry/events": {"telemetry"},
+	"converge":         {"telemetry"},
+	"provenance":       {},
+	"parallel":         {"telemetry", "telemetry/trace"},
+	"tech":             {"mathx"},
+	"variation":        {"mathx", "parallel"},
+	"chip":             {"converge", "mathx", "parallel", "tech", "telemetry", "telemetry/events", "telemetry/trace", "variation"},
+	"power":            {"chip"},
+	"sim":              {"mathx"},
+	"quality":          {},
+	"fault":            {"mathx", "telemetry/events"},
+	"workload":         {"mathx"},
+	"rms":              {"fault", "parallel", "quality", "sim", "telemetry/events"},
+	"rms/canneal":      {"fault", "mathx", "rms", "sim", "workload"},
+	"rms/ferret":       {"fault", "rms", "sim", "workload"},
+	"rms/bodytrack":    {"fault", "mathx", "quality", "rms", "sim", "workload"},
+	"rms/xh264":        {"fault", "mathx", "quality", "rms", "sim", "workload"},
+	"rms/hotspot":      {"fault", "mathx", "quality", "rms", "sim", "workload"},
+	"rms/srad":         {"fault", "mathx", "quality", "rms", "sim", "workload"},
+	"rms/btcmine":      {"fault", "rms", "sim"},
+	"rms/rmstest":      {"fault", "rms", "sim"},
+	"core":             {"chip", "fault", "mathx", "parallel", "power", "rms", "sim", "tech", "telemetry/events", "telemetry/trace"},
+	"atlas":            {"chip", "fault", "telemetry/events"},
+	"baseline":         {"chip", "power"},
 	"experiments": {"baseline", "chip", "core", "fault", "mathx", "parallel", "power",
 		"rms", "rms/bodytrack", "rms/btcmine", "rms/canneal", "rms/ferret",
 		"rms/hotspot", "rms/srad", "rms/xh264", "sim", "tech", "telemetry", "telemetry/trace", "variation"},
