@@ -2,7 +2,7 @@
 # mandatory since the worker pool and the memoized model caches put
 # goroutines on shared chips, fronts, and Cholesky factors. `make ci`
 # mirrors .github/workflows/ci.yml locally, job for job.
-.PHONY: tier1 race bench-parallel golden ci fmt-check cover
+.PHONY: tier1 race bench-parallel bench-field golden ci fmt-check cover
 
 tier1:
 	go build ./... && go test ./...
@@ -35,6 +35,10 @@ cover:
 # Measure the parallel engine's speedup and record BENCH_parallel.json.
 bench-parallel:
 	./scripts/bench_parallel.sh
+
+# Measure dense vs circulant field sampling and record BENCH_field.json.
+bench-field:
+	./scripts/bench_field.sh
 
 # Regenerate the pinned golden artifacts after an intentional model change.
 golden:

@@ -28,6 +28,36 @@ import (
 	"repro/internal/workload"
 )
 
+// parseGrid parses a WxH field resolution. There is no upper size cap:
+// grids above variation.ExactSampleCap points go through the
+// O(n log n) circulant sampler.
+func parseGrid(s string) (w, h int, err error) {
+	if _, err := fmt.Sscanf(s, "%dx%d", &w, &h); err != nil {
+		return 0, 0, fmt.Errorf("bad -fieldgrid %q: want WxH, e.g. 48x48", s)
+	}
+	if w <= 0 || h <= 0 {
+		return 0, 0, fmt.Errorf("bad -fieldgrid %q: dimensions must be positive", s)
+	}
+	return w, h, nil
+}
+
+// writeField renders one Vth variation field realization as a PGM.
+func writeField(path string, w, h int, seed int64) error {
+	grid, err := variation.SampleField(w, h, variation.DefaultVth(), mathx.NewRNG(seed))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := workload.WritePGM(f, grid, -0.35, 0.35); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	var (
 		seed      = flag.Int64("seed", 2014, "population seed")
@@ -36,6 +66,7 @@ func main() {
 		saveFile  = flag.String("save", "", "write the first chip as JSON to this path")
 		loadFile  = flag.String("load", "", "analyze a previously saved chip instead of sampling")
 		fieldPGM  = flag.String("field", "", "render one Vth variation field to this PGM path")
+		fieldGrid = flag.String("fieldgrid", "48x48", "field resolution as WxH; grids above 4096 points use the O(n log n) circulant sampler")
 		telemMode = telemetry.ModeFlag(flag.CommandLine)
 		eventsTo  = events.PathFlag(flag.CommandLine)
 		atlasDir  = atlas.DirFlag(flag.CommandLine)
@@ -102,21 +133,14 @@ func main() {
 	}
 
 	if *fieldPGM != "" {
-		grid, err := variation.SampleField(48, 48, variation.DefaultVth(), mathx.NewRNG(*seed))
+		fw, fh, err := parseGrid(*fieldGrid)
 		if err != nil {
 			fail(err)
 		}
-		f, err := os.Create(*fieldPGM)
-		if err != nil {
+		if err := writeField(*fieldPGM, fw, fh, *seed); err != nil {
 			fail(err)
 		}
-		if err := workload.WritePGM(f, grid, -0.35, 0.35); err != nil {
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
-			fail(err)
-		}
-		fmt.Printf("wrote 48x48 Vth field (seed %d) to %s\n", *seed, *fieldPGM)
+		fmt.Printf("wrote %dx%d Vth field (seed %d) to %s\n", fw, fh, *seed, *fieldPGM)
 	}
 
 	var ntvs, allVmin []float64

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseGrid(t *testing.T) {
+	cases := []struct {
+		in   string
+		w, h int
+		ok   bool
+	}{
+		{"48x48", 48, 48, true},
+		{"192x96", 192, 96, true},
+		{"1x1", 1, 1, true},
+		// Above the old 4096-point cap: must parse, the circulant
+		// sampler handles the size.
+		{"128x128", 128, 128, true},
+		{"", 0, 0, false},
+		{"48", 0, 0, false},
+		{"0x48", 0, 0, false},
+		{"48x-2", 0, 0, false},
+		{"axb", 0, 0, false},
+	}
+	for _, c := range cases {
+		w, h, err := parseGrid(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseGrid(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && (w != c.w || h != c.h) {
+			t.Errorf("parseGrid(%q) = %dx%d, want %dx%d", c.in, w, h, c.w, c.h)
+		}
+	}
+}
+
+// The -fieldgrid path must handle grids above the old dense-sampling
+// cap end to end, producing a well-formed PGM of the requested size.
+func TestWriteFieldAboveOldCap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "field.pgm")
+	if err := writeField(path, 80, 80, 2014); err != nil {
+		t.Fatalf("writeField 80x80: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := string(data[:min(len(data), 64)])
+	if !strings.HasPrefix(header, "P2") && !strings.HasPrefix(header, "P5") {
+		t.Fatalf("not a PGM header: %q", header)
+	}
+	if !strings.Contains(header, "80 80") {
+		t.Errorf("PGM header %q does not declare 80x80", header)
+	}
+}

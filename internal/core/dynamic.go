@@ -51,18 +51,30 @@ func (d DriftModel) Validate() error {
 	return nil
 }
 
+// corePhases derives core i's two sinusoid phases. They are a pure
+// function of (Seed, core), but drawing them costs a fresh RNG — a 5 KB
+// lagged-Fibonacci state — so callers evaluating many epochs cache them
+// (the Controller keeps a per-core table).
+func (d DriftModel) corePhases(core int) (phase, phase2 float64) {
+	rng := mathx.NewRNG(mathx.SplitSeed(d.Seed, int64(core)))
+	return rng.Uniform(0, 2*math.Pi), rng.Uniform(0, 2*math.Pi)
+}
+
+// shiftAt evaluates the drift at an epoch given precomputed phases.
+func (d DriftModel) shiftAt(epoch int, phase, phase2 float64) float64 {
+	w := 2 * math.Pi / d.Period
+	t := float64(epoch)
+	s := 0.7*math.Sin(w*t+phase) + 0.3*math.Sin(2.3*w*t+phase2)
+	return d.Amplitude*s + d.AgingPerEpoch*t
+}
+
 // Shift returns core i's Vth shift in volts at the given epoch.
 func (d DriftModel) Shift(core, epoch int) float64 {
 	if d.Amplitude == 0 && d.AgingPerEpoch == 0 {
 		return 0
 	}
-	rng := mathx.NewRNG(mathx.SplitSeed(d.Seed, int64(core)))
-	phase := rng.Uniform(0, 2*math.Pi)
-	phase2 := rng.Uniform(0, 2*math.Pi)
-	w := 2 * math.Pi / d.Period
-	t := float64(epoch)
-	s := 0.7*math.Sin(w*t+phase) + 0.3*math.Sin(2.3*w*t+phase2)
-	return d.Amplitude*s + d.AgingPerEpoch*t
+	phase, phase2 := d.corePhases(core)
+	return d.shiftAt(epoch, phase, phase2)
 }
 
 // EpochOutcome records one epoch of a (static or dynamic) schedule.
@@ -101,6 +113,37 @@ type Controller struct {
 	// Headroom deflates the nominal safe frequency when planning, so a
 	// small drift does not immediately violate the rate (0.05 = 5%).
 	Headroom float64
+
+	// phases caches each core's drift sinusoid phases; deriving them
+	// costs a fresh 5 KB RNG per (core, epoch) otherwise. Controllers
+	// are driven from one goroutine (Run is sequential), so the lazy
+	// fill needs no locking.
+	phases [][2]float64
+	// cands is plan's reusable sort scratch.
+	cands []coreFreq
+}
+
+// coreFreq pairs a core id with its drift-adjusted frequency; plan
+// sorts a slice of these each epoch.
+type coreFreq struct {
+	id int
+	f  float64
+}
+
+// shift returns core i's drift at an epoch through the phase cache,
+// bit-identical to Drift.Shift.
+func (c *Controller) shift(i, epoch int) float64 {
+	if c.Drift.Amplitude == 0 && c.Drift.AgingPerEpoch == 0 {
+		return 0
+	}
+	if c.phases == nil {
+		c.phases = make([][2]float64, len(c.Chip.Cores))
+		for core := range c.phases {
+			p1, p2 := c.Drift.corePhases(core)
+			c.phases[core] = [2]float64{p1, p2}
+		}
+	}
+	return c.Drift.shiftAt(epoch, c.phases[i][0], c.phases[i][1])
 }
 
 // NewController validates and builds a controller.
@@ -126,7 +169,7 @@ func NewController(ch *chip.Chip, pm *power.Model, drift DriftModel, requiredRat
 // the epoch's drift applied.
 func (c *Controller) coreFreqAt(i, epoch int, vdd float64) float64 {
 	co := c.Chip.Cores[i]
-	vth := co.Vth(c.Chip.Cfg.Tech) + c.Drift.Shift(i, epoch)
+	vth := co.Vth(c.Chip.Cfg.Tech) + c.shift(i, epoch)
 	return c.Chip.Cfg.Tech.FreqAtPerr(vdd, vth, c.Perr) / (1 + co.LeffDev)
 }
 
@@ -150,13 +193,12 @@ func (c *Controller) setRate(cores []int, epoch int, vdd float64) (rate, minF fl
 // for the smallest N whose N*minF clears the target with headroom.
 func (c *Controller) plan(epoch int, vdd float64) []int {
 	n := len(c.Chip.Cores)
-	type cf struct {
-		id int
-		f  float64
+	if cap(c.cands) < n {
+		c.cands = make([]coreFreq, n)
 	}
-	cands := make([]cf, n)
+	cands := c.cands[:n]
 	for i := 0; i < n; i++ {
-		cands[i] = cf{i, c.coreFreqAt(i, epoch, vdd)}
+		cands[i] = coreFreq{i, c.coreFreqAt(i, epoch, vdd)}
 	}
 	// Sort descending by frequency (insertion into sorted slice via
 	// simple sort).

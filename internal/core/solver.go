@@ -67,6 +67,7 @@ type Solver struct {
 	order    []int // engagement order of cores under Policy
 
 	perrGrid  []float64
+	logPerr   []float64   // log10 of perrGrid, the interpolation abscissae
 	prefixMin [][]float64 // prefixMin[n][g]: min f over first n+1 cores at perrGrid[g]
 	fCC       float64     // control-core frequency (fastest safe core)
 }
@@ -193,6 +194,10 @@ func (s *Solver) STVTime() float64 {
 // regime the chip operates in.
 func (s *Solver) buildFreqTable() {
 	s.perrGrid = []float64{1e-16, 1e-14, 1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2}
+	s.logPerr = make([]float64, len(s.perrGrid))
+	for g, p := range s.perrGrid {
+		s.logPerr[g] = math.Log10(p)
+	}
 	n := len(s.order)
 	s.prefixMin = make([][]float64, n)
 	running := make([]float64, len(s.perrGrid))
@@ -225,11 +230,7 @@ func (s *Solver) buildFreqTable() {
 func (s *Solver) setFreq(n int, perr float64) float64 {
 	row := s.prefixMin[n-1]
 	lp := math.Log10(mathx.Clamp(perr, s.perrGrid[0], s.perrGrid[len(s.perrGrid)-1]))
-	xs := make([]float64, len(s.perrGrid))
-	for g, p := range s.perrGrid {
-		xs[g] = math.Log10(p)
-	}
-	return mathx.InterpMonotone(xs, row, lp)
+	return mathx.InterpMonotone(s.logPerr, row, lp)
 }
 
 // taskPerr returns the paper's Section 6.3 speculative error-rate

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/chip"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/parallel"
 	"repro/internal/rms"
 	"repro/internal/rms/bodytrack"
@@ -97,31 +98,53 @@ func (t *Table) Render(w io.Writer) error {
 	return err
 }
 
+// kernels memoizes the constructed benchmark sets. Kernels are
+// stateless after construction (MeasureFronts already shares one
+// instance across concurrent Run calls), but constructing them is not
+// free — canneal's netlist and ferret's database dominate — and the
+// experiment drivers rebuild the set once per experiment. Each call
+// still returns a fresh slice so callers may reorder or truncate it.
+var kernels = parallel.Cache[string, []rms.Benchmark]{Name: "experiments.Kernels"}
+
+func cachedKernels(set string, build func() ([]rms.Benchmark, error)) ([]rms.Benchmark, error) {
+	all, err := kernels.Do(set, build)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]rms.Benchmark, len(all))
+	copy(out, all)
+	return out, nil
+}
+
 // AllBenchmarks constructs the six RMS kernels in Table 3 order.
 func AllBenchmarks() ([]rms.Benchmark, error) {
-	cb, err := canneal.New()
-	if err != nil {
-		return nil, err
-	}
-	fb, err := ferret.New()
-	if err != nil {
-		return nil, err
-	}
-	bb, err := bodytrack.New()
-	if err != nil {
-		return nil, err
-	}
-	return []rms.Benchmark{cb, fb, bb, xh264.New(), hotspot.New(), srad.New()}, nil
+	return cachedKernels("table3", func() ([]rms.Benchmark, error) {
+		cb, err := canneal.New()
+		if err != nil {
+			return nil, err
+		}
+		fb, err := ferret.New()
+		if err != nil {
+			return nil, err
+		}
+		bb, err := bodytrack.New()
+		if err != nil {
+			return nil, err
+		}
+		return []rms.Benchmark{cb, fb, bb, xh264.New(), hotspot.New(), srad.New()}, nil
+	})
 }
 
 // AllKernels returns every kernel in the repository: the Table 3 six
 // plus the Section 7 strict weak-scaling miner.
 func AllKernels() ([]rms.Benchmark, error) {
-	all, err := AllBenchmarks()
-	if err != nil {
-		return nil, err
-	}
-	return append(all, btcmine.New()), nil
+	return cachedKernels("all", func() ([]rms.Benchmark, error) {
+		all, err := AllBenchmarks()
+		if err != nil {
+			return nil, err
+		}
+		return append(all, btcmine.New()), nil
+	})
 }
 
 // BenchmarkByName returns one kernel (including btcmine).
@@ -183,8 +206,11 @@ func MeasuredFronts(ctx context.Context, b rms.Benchmark, seed int64) (*core.Qua
 func ResetCaches() {
 	repChips.Reset()
 	fronts.Reset()
+	kernels.Reset()
 	rms.ResetReferenceCache()
+	fault.ResetFlipMaskCache()
 	variation.ResetFactorizationCache()
+	variation.ResetEigenCache()
 }
 
 // Runner is the signature every experiment driver shares. The context

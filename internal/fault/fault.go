@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 )
 
 // Mode enumerates the error manifestations applied to infected tasks.
@@ -147,6 +148,29 @@ func (p Plan) CountInfected(n int) int {
 // Active reports whether the plan injects anything at all.
 func (p Plan) Active() bool { return p.Mode != None && p.Num > 0 }
 
+// flipMaskCache memoizes Flip's per-(seed, task) XOR masks. The mask is
+// a pure function of the split seed, but deriving it costs a fresh RNG —
+// a 5 KB lagged-Fibonacci state — per corrupted value, which profiling
+// showed was the simulator's single largest allocator (a Monte-Carlo
+// population corrupts the same task indices on every chip). Keying by
+// the split seed is exact: NewRNG sees nothing else.
+var flipMaskCache = parallel.Cache[int64, uint64]{Name: "fault.FlipMask"}
+
+// flipMask returns the Flip mode's XOR mask for one task, bit-identical
+// to drawing it from a fresh RNG seeded with SplitSeed(seed, task).
+func flipMask(seed int64, task int) uint64 {
+	split := mathx.SplitSeed(seed, int64(task))
+	mask, _ := flipMaskCache.Do(split, func() (uint64, error) {
+		rng := mathx.NewRNG(split)
+		return uint64(rng.Int63())<<1 | uint64(rng.Intn(2)), nil
+	})
+	return mask
+}
+
+// ResetFlipMaskCache empties the process-wide flip-mask cache; it exists
+// for benchmarks that need to measure cold-cache behavior.
+func ResetFlipMaskCache() { flipMaskCache.Reset() }
+
 // CorruptValue applies the plan's value-corruption mode to the float64
 // end result v of infected task i. Drop, None and Invert return v
 // unchanged (Drop is handled by discarding contributions, Invert at the
@@ -173,8 +197,7 @@ func (p Plan) CorruptValue(v float64, task int) float64 {
 	case StuckLow1:
 		bits |= lowMask
 	case Flip:
-		rng := mathx.NewRNG(mathx.SplitSeed(p.Seed, int64(task)))
-		bits ^= uint64(rng.Int63())<<1 | uint64(rng.Intn(2))
+		bits ^= flipMask(p.Seed, task)
 	}
 	out := math.Float64frombits(bits)
 	// A corrupted result is still a stored number; NaN/Inf patterns are

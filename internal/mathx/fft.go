@@ -1,0 +1,318 @@
+package mathx
+
+import "math"
+
+// This file is the repository's zero-dependency FFT: an iterative
+// radix-2 Cooley-Tukey transform for power-of-two lengths and a
+// Bluestein chirp-z fallback for every other length, exposed through
+// precomputed plans so the hot path (the circulant-embedding field
+// sampler in internal/variation) performs no allocation per transform.
+//
+// Conventions: Forward computes the unnormalized DFT
+// X[j] = sum_k x[k] exp(-2*pi*i*j*k/n); Inverse applies the conjugate
+// kernel and divides by n, so Inverse(Forward(x)) == x up to rounding.
+
+// NextPow2 returns the smallest power of two >= n (minimum 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// FFTPlan holds the twiddle tables and scratch for length-n complex
+// transforms. Plans are cheap to build (O(n) memory, O(n) setup for
+// powers of two; O(m log m) setup for Bluestein lengths) and reusable
+// for any number of transforms.
+//
+// A plan's transform methods reuse internal scratch, so one plan must
+// not run concurrent transforms; build one plan per goroutine (the
+// tables are small) or serialize calls.
+type FFTPlan struct {
+	n int
+
+	// Radix-2 tables (n a power of two): bit-reversal permutation and
+	// the first n/2 roots of unity exp(-2*pi*i*k/n).
+	perm []int32
+	wre  []float64
+	wim  []float64
+
+	// Bluestein tables (any n): chirp a[k] = exp(-i*pi*k^2/n), the
+	// padded FFT of the conjugate chirp, and scratch of the padded
+	// power-of-two length m >= 2n-1.
+	blu *bluesteinPlan
+}
+
+type bluesteinPlan struct {
+	m        int       // padded power-of-two convolution length
+	inner    *FFTPlan  // radix-2 plan of length m
+	are, aim []float64 // chirp a[k], length n
+	bre, bim []float64 // FFT of the wrapped conjugate chirp, length m
+	ure, uim []float64 // scratch, length m
+}
+
+// NewFFTPlan builds a plan for length-n transforms. n must be >= 1.
+func NewFFTPlan(n int) *FFTPlan {
+	if n < 1 {
+		panic("mathx: FFT length must be >= 1")
+	}
+	p := &FFTPlan{n: n}
+	if n&(n-1) == 0 {
+		p.initRadix2()
+	} else {
+		p.initBluestein()
+	}
+	return p
+}
+
+// N returns the transform length the plan was built for.
+func (p *FFTPlan) N() int { return p.n }
+
+func (p *FFTPlan) initRadix2() {
+	n := p.n
+	p.perm = make([]int32, n)
+	shift := 64 - uint(log2(n))
+	for i := range p.perm {
+		p.perm[i] = int32(reverse64(uint64(i)) >> shift)
+	}
+	p.wre = make([]float64, n/2)
+	p.wim = make([]float64, n/2)
+	for k := range p.wre {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.wre[k], p.wim[k] = c, s
+	}
+}
+
+func (p *FFTPlan) initBluestein() {
+	n := p.n
+	m := NextPow2(2*n - 1)
+	b := &bluesteinPlan{
+		m:     m,
+		inner: NewFFTPlan(m),
+		are:   make([]float64, n),
+		aim:   make([]float64, n),
+		bre:   make([]float64, m),
+		bim:   make([]float64, m),
+		ure:   make([]float64, m),
+		uim:   make([]float64, m),
+	}
+	for k := 0; k < n; k++ {
+		// k*k mod 2n keeps the chirp angle exact for large k.
+		kk := (k * k) % (2 * n)
+		s, c := math.Sincos(-math.Pi * float64(kk) / float64(n))
+		b.are[k], b.aim[k] = c, s
+	}
+	// Wrapped conjugate chirp: B[k] = conj(a[k]) for k < n, mirrored
+	// into the tail so the circular convolution realizes the linear one.
+	for k := 0; k < n; k++ {
+		b.bre[k], b.bim[k] = b.are[k], -b.aim[k]
+		if k > 0 {
+			b.bre[m-k], b.bim[m-k] = b.are[k], -b.aim[k]
+		}
+	}
+	b.inner.Forward(b.bre, b.bim)
+	p.blu = b
+}
+
+// log2 of a power of two.
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// reverse64 reverses the bits of v (math/bits.Reverse64 without the
+// import, keeping this file self-contained).
+func reverse64(v uint64) uint64 {
+	v = v>>32 | v<<32
+	const m1 = 0x0000ffff0000ffff
+	v = v>>16&m1 | v&m1<<16
+	const m2 = 0x00ff00ff00ff00ff
+	v = v>>8&m2 | v&m2<<8
+	const m3 = 0x0f0f0f0f0f0f0f0f
+	v = v>>4&m3 | v&m3<<4
+	const m4 = 0x3333333333333333
+	v = v>>2&m4 | v&m4<<2
+	const m5 = 0x5555555555555555
+	v = v>>1&m5 | v&m5<<1
+	return v
+}
+
+// Forward transforms (re, im) in place to the unnormalized DFT. Both
+// slices must have length N().
+func (p *FFTPlan) Forward(re, im []float64) { p.transform(re, im, false) }
+
+// Inverse transforms (re, im) in place to the inverse DFT, including
+// the 1/n scaling.
+func (p *FFTPlan) Inverse(re, im []float64) { p.transform(re, im, true) }
+
+func (p *FFTPlan) transform(re, im []float64, inverse bool) {
+	if len(re) != p.n || len(im) != p.n {
+		panic("mathx: FFT buffer length mismatch")
+	}
+	if p.n == 1 {
+		return
+	}
+	if p.blu != nil {
+		p.bluestein(re, im, inverse)
+		return
+	}
+	p.radix2(re, im, inverse)
+	if inverse {
+		inv := 1 / float64(p.n)
+		for i := range re {
+			re[i] *= inv
+			im[i] *= inv
+		}
+	}
+}
+
+// radix2 runs the iterative Cooley-Tukey butterflies in place (no
+// 1/n scaling; the caller handles inverse normalization).
+func (p *FFTPlan) radix2(re, im []float64, inverse bool) {
+	n := p.n
+	for i, j := range p.perm {
+		if int32(i) < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for blk := 0; blk < n; blk += size {
+			tw := 0
+			for j := blk; j < blk+half; j++ {
+				wr, wi := p.wre[tw], p.wim[tw]
+				if inverse {
+					wi = -wi
+				}
+				k := j + half
+				tr := re[k]*wr - im[k]*wi
+				ti := re[k]*wi + im[k]*wr
+				re[k] = re[j] - tr
+				im[k] = im[j] - ti
+				re[j] += tr
+				im[j] += ti
+				tw += step
+			}
+		}
+	}
+}
+
+// bluestein computes the arbitrary-length DFT as a chirp-modulated
+// circular convolution on the padded power-of-two inner plan.
+func (p *FFTPlan) bluestein(re, im []float64, inverse bool) {
+	n, b := p.n, p.blu
+	m := b.m
+	// u[k] = x[k] * a[k], zero-padded to m. The inverse transform uses
+	// the conjugate chirp throughout.
+	for k := 0; k < n; k++ {
+		ar, ai := b.are[k], b.aim[k]
+		if inverse {
+			ai = -ai
+		}
+		b.ure[k] = re[k]*ar - im[k]*ai
+		b.uim[k] = re[k]*ai + im[k]*ar
+	}
+	for k := n; k < m; k++ {
+		b.ure[k], b.uim[k] = 0, 0
+	}
+	b.inner.radix2(b.ure, b.uim, false)
+	// Pointwise multiply by FFT(B) (conjugated for the inverse), then
+	// invert the inner transform manually (conjugate trick, 1/m scale).
+	for k := 0; k < m; k++ {
+		br, bi := b.bre[k], b.bim[k]
+		if inverse {
+			bi = -bi
+		}
+		ur, ui := b.ure[k], b.uim[k]
+		b.ure[k] = ur*br - ui*bi
+		b.uim[k] = ur*bi + ui*br
+	}
+	for k := 0; k < m; k++ {
+		b.uim[k] = -b.uim[k]
+	}
+	b.inner.radix2(b.ure, b.uim, false)
+	scale := 1 / float64(m)
+	for k := 0; k < m; k++ {
+		b.ure[k] *= scale
+		b.uim[k] *= -scale
+	}
+	// X[j] = a[j] * conv[j]; inverse additionally scales by 1/n.
+	outScale := 1.0
+	if inverse {
+		outScale = 1 / float64(n)
+	}
+	for j := 0; j < n; j++ {
+		ar, ai := b.are[j], b.aim[j]
+		if inverse {
+			ai = -ai
+		}
+		re[j] = (b.ure[j]*ar - b.uim[j]*ai) * outScale
+		im[j] = (b.ure[j]*ai + b.uim[j]*ar) * outScale
+	}
+}
+
+// FFT2DPlan transforms W x H row-major complex grids in place: a
+// length-W plan across every row, then a length-H plan down every
+// column. Like FFTPlan, a 2-D plan reuses internal scratch and must
+// not run concurrent transforms.
+type FFT2DPlan struct {
+	w, h     int
+	row, col *FFTPlan
+	cre, cim []float64 // one column of scratch, length h
+}
+
+// NewFFT2DPlan builds a plan for W x H transforms (both >= 1).
+func NewFFT2DPlan(w, h int) *FFT2DPlan {
+	if w < 1 || h < 1 {
+		panic("mathx: FFT2D dimensions must be >= 1")
+	}
+	p := &FFT2DPlan{w: w, h: h, row: NewFFTPlan(w), cre: make([]float64, h), cim: make([]float64, h)}
+	if h == w {
+		p.col = p.row
+	} else {
+		p.col = NewFFTPlan(h)
+	}
+	return p
+}
+
+// Dims returns the plan's (W, H).
+func (p *FFT2DPlan) Dims() (w, h int) { return p.w, p.h }
+
+// Forward transforms the W x H row-major grid (re, im) in place to its
+// unnormalized 2-D DFT.
+func (p *FFT2DPlan) Forward(re, im []float64) { p.transform(re, im, false) }
+
+// Inverse transforms (re, im) in place to the inverse 2-D DFT,
+// including the 1/(W*H) scaling.
+func (p *FFT2DPlan) Inverse(re, im []float64) { p.transform(re, im, true) }
+
+func (p *FFT2DPlan) transform(re, im []float64, inverse bool) {
+	if len(re) != p.w*p.h || len(im) != p.w*p.h {
+		panic("mathx: FFT2D buffer length mismatch")
+	}
+	for y := 0; y < p.h; y++ {
+		row := y * p.w
+		p.row.transform(re[row:row+p.w], im[row:row+p.w], inverse)
+	}
+	if p.h == 1 {
+		return
+	}
+	for x := 0; x < p.w; x++ {
+		for y := 0; y < p.h; y++ {
+			p.cre[y] = re[y*p.w+x]
+			p.cim[y] = im[y*p.w+x]
+		}
+		p.col.transform(p.cre, p.cim, inverse)
+		for y := 0; y < p.h; y++ {
+			re[y*p.w+x] = p.cre[y]
+			im[y*p.w+x] = p.cim[y]
+		}
+	}
+}

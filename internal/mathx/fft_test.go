@@ -1,0 +1,225 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// naiveDFT is the O(n^2) reference transform.
+func naiveDFT(re, im []float64, inverse bool) ([]float64, []float64) {
+	n := len(re)
+	or := make([]float64, n)
+	oi := make([]float64, n)
+	sign := -2 * math.Pi
+	if inverse {
+		sign = 2 * math.Pi
+	}
+	for j := 0; j < n; j++ {
+		var sr, si float64
+		for k := 0; k < n; k++ {
+			s, c := math.Sincos(sign * float64(j) * float64(k) / float64(n))
+			sr += re[k]*c - im[k]*s
+			si += re[k]*s + im[k]*c
+		}
+		if inverse {
+			sr /= float64(n)
+			si /= float64(n)
+		}
+		or[j], oi[j] = sr, si
+	}
+	return or, oi
+}
+
+func randComplex(n int, rng *RNG) ([]float64, []float64) {
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = rng.Normal(0, 1)
+		im[i] = rng.Normal(0, 1)
+	}
+	return re, im
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Radix-2 and Bluestein lengths both must match the naive DFT.
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := NewRNG(42)
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 31, 32, 100, 128, 243} {
+		re, im := randComplex(n, rng)
+		wantRe, wantIm := naiveDFT(re, im, false)
+		p := NewFFTPlan(n)
+		p.Forward(re, im)
+		tol := 1e-9 * float64(n)
+		if d := maxAbsDiff(re, wantRe); d > tol {
+			t.Errorf("n=%d: forward real error %g", n, d)
+		}
+		if d := maxAbsDiff(im, wantIm); d > tol {
+			t.Errorf("n=%d: forward imag error %g", n, d)
+		}
+	}
+}
+
+func TestFFTInverseMatchesNaive(t *testing.T) {
+	rng := NewRNG(43)
+	for _, n := range []int{2, 3, 8, 12, 32, 100} {
+		re, im := randComplex(n, rng)
+		wantRe, wantIm := naiveDFT(re, im, true)
+		p := NewFFTPlan(n)
+		p.Inverse(re, im)
+		tol := 1e-9 * float64(n)
+		if d := maxAbsDiff(re, wantRe); d > tol {
+			t.Errorf("n=%d: inverse real error %g", n, d)
+		}
+		if d := maxAbsDiff(im, wantIm); d > tol {
+			t.Errorf("n=%d: inverse imag error %g", n, d)
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := NewRNG(44)
+	for _, n := range []int{1, 2, 4, 6, 16, 48, 64, 129, 256} {
+		re, im := randComplex(n, rng)
+		origRe := append([]float64(nil), re...)
+		origIm := append([]float64(nil), im...)
+		p := NewFFTPlan(n)
+		p.Forward(re, im)
+		p.Inverse(re, im)
+		tol := 1e-10 * float64(n)
+		if d := maxAbsDiff(re, origRe); d > tol {
+			t.Errorf("n=%d: round-trip real error %g", n, d)
+		}
+		if d := maxAbsDiff(im, origIm); d > tol {
+			t.Errorf("n=%d: round-trip imag error %g", n, d)
+		}
+	}
+}
+
+// A plan is reusable: a second transform through the same plan gives
+// the same answer as a fresh plan (scratch is fully overwritten).
+func TestFFTPlanReuse(t *testing.T) {
+	rng := NewRNG(45)
+	for _, n := range []int{16, 12} {
+		p := NewFFTPlan(n)
+		re1, im1 := randComplex(n, rng)
+		warmRe := append([]float64(nil), re1...)
+		warmIm := append([]float64(nil), im1...)
+		p.Forward(warmRe, warmIm) // dirty the scratch
+		gotRe := append([]float64(nil), re1...)
+		gotIm := append([]float64(nil), im1...)
+		p.Forward(gotRe, gotIm)
+		wantRe, wantIm := naiveDFT(re1, im1, false)
+		if maxAbsDiff(gotRe, wantRe) > 1e-9*float64(n) || maxAbsDiff(gotIm, wantIm) > 1e-9*float64(n) {
+			t.Errorf("n=%d: reused plan diverges from naive DFT", n)
+		}
+	}
+}
+
+// naiveDFT2D transforms a w x h row-major grid by definition.
+func naiveDFT2D(re, im []float64, w, h int) ([]float64, []float64) {
+	or := make([]float64, w*h)
+	oi := make([]float64, w*h)
+	for v := 0; v < h; v++ {
+		for u := 0; u < w; u++ {
+			var sr, si float64
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					ang := -2 * math.Pi * (float64(u)*float64(x)/float64(w) + float64(v)*float64(y)/float64(h))
+					s, c := math.Sincos(ang)
+					r, i := re[y*w+x], im[y*w+x]
+					sr += r*c - i*s
+					si += r*s + i*c
+				}
+			}
+			or[v*w+u], oi[v*w+u] = sr, si
+		}
+	}
+	return or, oi
+}
+
+func TestFFT2DMatchesNaive(t *testing.T) {
+	rng := NewRNG(46)
+	for _, dims := range [][2]int{{4, 4}, {8, 4}, {3, 5}, {1, 8}, {8, 1}, {6, 12}} {
+		w, h := dims[0], dims[1]
+		re, im := randComplex(w*h, rng)
+		wantRe, wantIm := naiveDFT2D(re, im, w, h)
+		p := NewFFT2DPlan(w, h)
+		p.Forward(re, im)
+		tol := 1e-9 * float64(w*h)
+		if d := maxAbsDiff(re, wantRe); d > tol {
+			t.Errorf("%dx%d: forward real error %g", w, h, d)
+		}
+		if d := maxAbsDiff(im, wantIm); d > tol {
+			t.Errorf("%dx%d: forward imag error %g", w, h, d)
+		}
+	}
+}
+
+func TestFFT2DRoundTrip(t *testing.T) {
+	rng := NewRNG(47)
+	w, h := 16, 8
+	re, im := randComplex(w*h, rng)
+	origRe := append([]float64(nil), re...)
+	origIm := append([]float64(nil), im...)
+	p := NewFFT2DPlan(w, h)
+	p.Forward(re, im)
+	p.Inverse(re, im)
+	if maxAbsDiff(re, origRe) > 1e-9 || maxAbsDiff(im, origIm) > 1e-9 {
+		t.Error("2-D round trip diverges")
+	}
+}
+
+// The per-transform path must not allocate: the circulant sampler's
+// zero-allocation draw contract depends on it.
+func TestFFTTransformDoesNotAllocate(t *testing.T) {
+	for _, n := range []int{64, 48} { // radix-2 and Bluestein
+		p := NewFFTPlan(n)
+		re := make([]float64, n)
+		im := make([]float64, n)
+		re[1] = 1
+		allocs := testing.AllocsPerRun(20, func() {
+			p.Forward(re, im)
+			p.Inverse(re, im)
+		})
+		if allocs != 0 {
+			t.Errorf("n=%d: %g allocs per transform pair, want 0", n, allocs)
+		}
+	}
+	p := NewFFT2DPlan(16, 8)
+	re := make([]float64, 16*8)
+	im := make([]float64, 16*8)
+	allocs := testing.AllocsPerRun(20, func() {
+		p.Forward(re, im)
+		p.Inverse(re, im)
+	})
+	if allocs != 0 {
+		t.Errorf("2-D: %g allocs per transform pair, want 0", allocs)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 63: 64, 64: 64, 65: 128}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFFTRejectsBadLengths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFFTPlan(0) did not panic")
+		}
+	}()
+	NewFFTPlan(0)
+}

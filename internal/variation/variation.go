@@ -18,22 +18,37 @@
 // share one O(n³) Cholesky instead of each refactorizing the same
 // covariance.
 //
-// Exact sampling carries a hard 4096-point cap (enforced by
-// SampleField): the covariance is dense, so an n-point set costs O(n²)
-// memory for the factor and O(n³) time to factorize — 4096 points is
-// already a 128 MB factor and tens of seconds of work, and anything
-// larger is almost certainly a mistaken request for hours of
-// refactorization. Sample fields larger than the cap piecewise, or at
-// the layout points that actually matter (the chip package's approach).
+// Two sampling paths exist, selected by grid size:
+//
+//   - Dense Cholesky (Sampler): exact at ANY point layout, O(n³) setup
+//     and O(n²) per draw. SampleField keeps this path for grids up to
+//     ExactSampleCap points (4096, a 128 MB factor and tens of seconds
+//     of factorization already), both because it is the historical
+//     bit-exact path and because small dense draws beat the FFT's
+//     constant factor.
+//   - FFT circulant embedding (CirculantSampler): regular grids only.
+//     The stationary covariance is embedded on a padded periodic
+//     torus, diagonalized by one 2-D FFT, and each realization costs
+//     one more FFT — O(n log n) per draw, O(n) memory, no size cap.
+//     With the padding past the correlation range the spherical
+//     correlogram's embedding is exact, so the two paths agree in
+//     distribution (pinned by the statistical-equivalence tests).
+//
+// SampleField applies the selection rule automatically: dense at or
+// below ExactSampleCap points (bit-identical to all historical
+// output), circulant above. Callers that want the O(n log n) path on a
+// small grid construct a CirculantSampler directly.
 package variation
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/mathx"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 // Point is a location on the die in normalized coordinates: the chip
@@ -241,6 +256,10 @@ func (s *Sampler) Params() FieldParams { return s.params }
 // fractional deviation of the parameter at point i, so the actual
 // parameter value is nominal * (1 + dev[i]).
 func (s *Sampler) Sample(rng *mathx.RNG) []float64 {
+	var start time.Time
+	if telemetry.On() {
+		start = time.Now()
+	}
 	dev := make([]float64, s.n)
 	if s.chol != nil {
 		z := make([]float64, s.n)
@@ -255,25 +274,46 @@ func (s *Sampler) Sample(rng *mathx.RNG) []float64 {
 			dev[i] += s.sigmaRnd * rng.StdNormal()
 		}
 	}
+	if !start.IsZero() {
+		telSampleNs.Observe(time.Since(start).Nanoseconds())
+	}
 	return dev
 }
 
+// ExactSampleCap is the largest point count SampleField hands to the
+// dense-Cholesky exact sampler; larger grids go through the FFT
+// circulant path (package doc). The dense factor at this size is
+// already 128 MB and tens of seconds of O(n³) work.
+const ExactSampleCap = 4096
+
 // SampleField renders one systematic+random field realization on a
-// w x h grid covering the whole die; useful for visualization and for
-// statistical validation of the correlation structure. The sampler it
-// builds goes through the process-wide factorization cache, so repeated
-// calls on the same grid and parameters refactorize nothing; grids
-// above the cache's retention threshold still pay one factorization
-// per call, so prefer a reused Sampler for repeated large draws.
+// w x h grid covering the whole die; useful for visualization, for
+// fine-grid per-core atlases, and for statistical validation of the
+// correlation structure.
+//
+// Path selection (package doc): grids of at most ExactSampleCap points
+// use the dense-Cholesky exact sampler — bit-identical to this
+// function's historical output — while larger grids use the FFT
+// circulant-embedding sampler, whose draws are O(n log n) and whose
+// distribution matches the dense path. Both paths memoize their
+// expensive precomputation process-wide (the Cholesky factor and the
+// torus eigen-decomposition respectively), so repeated calls on the
+// same grid and parameters refactorize nothing; dense grids above the
+// factor cache's retention threshold still pay one factorization per
+// call, so prefer a reused Sampler or CirculantSampler for repeated
+// large draws.
 func SampleField(w, h int, fp FieldParams, rng *mathx.RNG) (*mathx.Grid2D, error) {
 	if w <= 0 || h <= 0 {
 		return nil, fmt.Errorf("variation: field dimensions must be positive")
 	}
-	// The exact sampler Cholesky-factorizes a (w*h)^2 covariance; cap
-	// the point count (package doc) so a casual call cannot request
-	// hours of O(n^3) work.
-	if w*h > 4096 {
-		return nil, fmt.Errorf("variation: %dx%d field exceeds the %d-point exact-sampling cap", w, h, 4096)
+	if w*h > ExactSampleCap {
+		s, err := NewCirculantSampler(w, h, fp)
+		if err != nil {
+			return nil, err
+		}
+		g := s.SampleGrid(rng)
+		emitFieldSampled(w, h, "circulant")
+		return g, nil
 	}
 	pts := make([]Point, 0, w*h)
 	for y := 0; y < h; y++ {
@@ -291,5 +331,6 @@ func SampleField(w, h int, fp FieldParams, rng *mathx.RNG) (*mathx.Grid2D, error
 	dev := s.Sample(rng)
 	g := mathx.NewGrid2D(w, h)
 	copy(g.V, dev)
+	emitFieldSampled(w, h, "dense")
 	return g, nil
 }

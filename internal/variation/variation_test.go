@@ -238,11 +238,14 @@ func TestExponentialCorrelogram(t *testing.T) {
 	}
 }
 
-func TestSampleFieldCapsSize(t *testing.T) {
-	if _, err := SampleField(128, 128, DefaultVth(), mathx.NewRNG(1)); err == nil {
-		t.Error("oversized field accepted; dense Cholesky would hang")
-	}
+// Historically SampleField errored above 4096 points; the circulant
+// path lifted that cap (TestSampleFieldLiftsCap), so only degenerate
+// dimensions are rejected now.
+func TestSampleFieldRejectsBadDims(t *testing.T) {
 	if _, err := SampleField(0, 4, DefaultVth(), mathx.NewRNG(1)); err == nil {
 		t.Error("zero dimension accepted")
+	}
+	if _, err := SampleField(4, -2, DefaultVth(), mathx.NewRNG(1)); err == nil {
+		t.Error("negative dimension accepted")
 	}
 }

@@ -20,12 +20,12 @@ var allowedDeps = map[string][]string{
 	"provenance":       {},
 	"parallel":         {"telemetry", "telemetry/trace"},
 	"tech":             {"mathx"},
-	"variation":        {"mathx", "parallel"},
+	"variation":        {"mathx", "parallel", "telemetry", "telemetry/events"},
 	"chip":             {"converge", "mathx", "parallel", "tech", "telemetry", "telemetry/events", "telemetry/trace", "variation"},
 	"power":            {"chip"},
 	"sim":              {"mathx"},
 	"quality":          {},
-	"fault":            {"mathx", "telemetry/events"},
+	"fault":            {"mathx", "parallel", "telemetry/events"},
 	"workload":         {"mathx"},
 	"rms":              {"fault", "parallel", "quality", "sim", "telemetry/events"},
 	"rms/canneal":      {"fault", "mathx", "rms", "sim", "workload"},

@@ -1,0 +1,75 @@
+#!/bin/sh
+# Measures correlated-field sampling: the dense-Cholesky exact path
+# against the FFT circulant-embedding path, per grid size, by running
+# the BenchmarkField* pairs from internal/variation/bench_test.go and
+# recording ns/op, allocs/op, and the speedups in BENCH_field.json.
+#
+# Usage: scripts/bench_field.sh [output.json]
+#   BENCHTIME=20x scripts/bench_field.sh   # more iterations
+#
+# The circulant path targets >= 10x over dense at 64x64 (4096 points,
+# the dense path's historical cap) and must draw with <= 8 allocs/op.
+# 16x16 is recorded to document the other side of the crossover: small
+# dense draws beat the FFT's constant factor, which is why SampleField
+# keeps the dense path below ExactSampleCap.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_field.json}"
+benchtime="${BENCHTIME:-10x}"
+
+# Prints "<ns/op> <allocs/op>" for one benchmark.
+bench() {
+    go test -run '^$' -bench "^$1\$" -benchtime "$benchtime" -benchmem \
+        ./internal/variation/ \
+        | awk -v b="$1" '$1 ~ "^"b {print $3, $7; exit}'
+}
+
+# Fail loudly if a benchmark produced no ns/op figure — a stale
+# benchmark name would otherwise flow NaN/empty ratios into the JSON.
+require_nsop() {
+    case "$2" in
+        *[0-9]*) ;;
+        *)
+            echo "bench_field: benchmark $1 reported no ns/op" \
+                 "(renamed or deleted in bench_test.go?)" >&2
+            exit 1
+            ;;
+    esac
+    case "$2" in
+        *[!0-9.]*)
+            echo "bench_field: benchmark $1 reported malformed ns/op '$2'" >&2
+            exit 1
+            ;;
+    esac
+}
+
+run() {
+    echo "benchmarking $1..." >&2
+    set -- "$1" $(bench "$1")
+    require_nsop "$1" "${2:-}"
+    require_nsop "$1-allocs" "${3:-}"
+    echo "$2 $3"
+}
+
+d16=$(run BenchmarkFieldDense16x16)
+c16=$(run BenchmarkFieldCirculant16x16)
+d64=$(run BenchmarkFieldDense64x64)
+c64=$(run BenchmarkFieldCirculant64x64)
+c128=$(run BenchmarkFieldCirculant128x128)
+cfin=$(run BenchmarkFieldCirculant288core)
+
+awk -v d16="$d16" -v c16="$c16" -v d64="$d64" -v c64="$c64" \
+    -v c128="$c128" -v cfin="$cfin" -v benchtime="$benchtime" 'BEGIN {
+    split(d16, D16); split(c16, C16); split(d64, D64); split(c64, C64)
+    split(c128, C128); split(cfin, CF)
+    printf "{\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"grid_16x16\": {\"points\": 256, \"dense_ns_op\": %s, \"circulant_ns_op\": %s, \"speedup\": %.2f, \"circulant_allocs_op\": %s},\n", D16[1], C16[1], D16[1]/C16[1], C16[2]
+    printf "  \"grid_64x64\": {\"points\": 4096, \"dense_ns_op\": %s, \"circulant_ns_op\": %s, \"speedup\": %.2f, \"circulant_allocs_op\": %s},\n", D64[1], C64[1], D64[1]/C64[1], C64[2]
+    printf "  \"grid_128x128\": {\"points\": 16384, \"circulant_ns_op\": %s, \"circulant_allocs_op\": %s},\n", C128[1], C128[2]
+    printf "  \"grid_288core_192x96\": {\"points\": 18432, \"circulant_ns_op\": %s, \"circulant_allocs_op\": %s}\n", CF[1], CF[2]
+    printf "}\n"
+}' > "$out"
+
+echo "wrote $out:" >&2
+cat "$out"
