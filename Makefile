@@ -2,7 +2,7 @@
 # mandatory since the worker pool and the memoized model caches put
 # goroutines on shared chips, fronts, and Cholesky factors. `make ci`
 # mirrors .github/workflows/ci.yml locally, job for job.
-.PHONY: tier1 race bench-parallel bench-field golden ci fmt-check cover
+.PHONY: tier1 race bench-parallel bench-field golden ci fmt-check cover lint fuzz
 
 tier1:
 	go build ./... && go test ./...
@@ -10,14 +10,42 @@ tier1:
 race:
 	go vet ./... && go test -race ./...
 
-# Everything the CI workflow checks, in the same order: build, vet,
-# gofmt cleanliness, tests, then the race tier.
+# Everything the CI workflow checks, in the same order: build, lint
+# (accordionvet + gofmt -s + vet + shellcheck), gofmt cleanliness,
+# tests, then the race tier.
 ci:
 	go build ./...
-	go vet ./...
+	$(MAKE) lint
 	$(MAKE) fmt-check
 	go test ./...
 	go test -race ./...
+
+# The repository's own static-analysis suite (see README "Static
+# analysis"): accordionvet's six domain analyzers, simplify-mode gofmt,
+# go vet, and shellcheck over the scripts (skipped with a notice if
+# shellcheck is not installed).
+lint:
+	go run ./cmd/accordionvet ./...
+	@unformatted="$$(gofmt -s -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt -s required on:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+	go vet ./...
+	@if command -v shellcheck >/dev/null 2>&1; then \
+		shellcheck scripts/*.sh; \
+	else \
+		echo "shellcheck not installed; skipping script lint"; \
+	fi
+
+# Run each committed fuzz target for FUZZTIME (default 30s) beyond its
+# checked-in corpus; mirrors the CI fuzz-smoke job.
+FUZZTIME ?= 30s
+fuzz:
+	go test ./internal/telemetry/events -run '^$$' -fuzz FuzzEventsNDJSONRoundTrip -fuzztime $(FUZZTIME)
+	go test ./internal/experiments -run '^$$' -fuzz FuzzFirstFloat -fuzztime $(FUZZTIME)
+	go test ./internal/mathx -run '^$$' -fuzz FuzzFFTSizes -fuzztime $(FUZZTIME)
 
 # Fail if any file needs gofmt, listing the offenders.
 fmt-check:

@@ -1,0 +1,71 @@
+// Command accordionvet is the repository's static-analysis driver: a
+// zero-dependency (go/ast + go/parser + go/types, stdlib source
+// importer) vet for the domain invariants the runtime tests cannot
+// cover exhaustively — determinism of simulation packages, ordered
+// output from map iteration, the layering DAG, float equality
+// discipline, the telemetry/event name catalog, and RNG seed hygiene
+// across pool workers.
+//
+// Usage:
+//
+//	accordionvet [-v] [patterns...]
+//
+// Patterns are go-tool style package patterns relative to the module
+// root ("./...", "./internal/...", "./cmd/accordionvet"); the default
+// is "./...". Diagnostics print as
+//
+//	file:line:col: [analyzer] message
+//
+// and the exit status is 1 when findings exist, 2 on load errors, 0 on
+// a clean tree. Findings can be suppressed — with justification — via
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above; unused or unjustified
+// suppressions are findings themselves, and the total is capped by the
+// configured budget. CI runs `go run ./cmd/accordionvet ./...` in the
+// lint job; `make lint` mirrors it locally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list analyzers and the packages inspected")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cfg, err := analysis.DefaultConfig(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "accordionvet: %v\n", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "accordionvet: analyzer %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	res, err := analysis.Run(cfg, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "accordionvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Println(d)
+	}
+	if *verbose && res.Suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "accordionvet: %d finding(s) suppressed by //lint:ignore\n", res.Suppressed)
+	}
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(os.Stderr, "accordionvet: %d finding(s)\n", len(res.Diagnostics))
+		os.Exit(1)
+	}
+}

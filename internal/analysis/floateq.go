@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// FloatEqAnalyzer forbids == and != between floating-point operands.
+// Nearly every float equality in a numerical codebase is a latent bug:
+// accumulated sums, solver outputs, and anything that crossed a
+// transcendental function differ in the last ulp between algebraically
+// equivalent evaluation orders, so an == that passes today breaks when
+// a loop is reassociated or vectorized. Comparisons should go through
+// a tolerance (math.Abs(a-b) <= eps) or operate on exactly-derived
+// keys.
+//
+// Three escapes exist for the legitimate cases:
+//   - x != x (and x == x), the idiomatic NaN test, is always allowed;
+//   - comparison against the literal constant 0 is allowed — the
+//     zero-sentinel guard (`if scale == 0 { scale = 1 }`,
+//     `if mse == 0 { return inf }`) is exact by construction and
+//     pervasive in numerical Go;
+//   - functions listed in Config.FloatEqAllow — exact-key comparisons
+//     such as cache keys built from exact binary inputs, deterministic
+//     sort tie-breaks, or bit-identical replay checks — are exempt
+//     wholesale.
+var FloatEqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on floating-point operands outside the exact-comparison allowlist",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	rel, ok := pass.Cfg.rel(pass.Pkg.Path)
+	if !ok {
+		rel = pass.Pkg.Path
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.Cfg.FloatEqAllow[rel+"."+funcKey(fd)] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op.String() != "==" && be.Op.String() != "!=") {
+					return true
+				}
+				lt, lok := info.Types[be.X]
+				rt, rok := info.Types[be.Y]
+				if !lok || !rok || (!isFloat(lt.Type) && !isFloat(rt.Type)) {
+					return true
+				}
+				// x != x / x == x is the NaN test; always exact-safe.
+				if sameIdent(be.X, be.Y) {
+					return true
+				}
+				// Zero-sentinel guards compare against a value that is
+				// exact in every float representation.
+				if isZeroConst(lt) || isZeroConst(rt) {
+					return true
+				}
+				pass.Reportf(be.Pos(), "%s on float operands in %s; compare with a tolerance, or allowlist the function in internal/analysis/config.go if this is an exact-key comparison", be.Op, funcKey(fd))
+				return true
+			})
+		}
+	}
+}
+
+// funcKey renders a FuncDecl the way Config.FloatEqAllow spells it:
+// "F" for functions, "(T).M" / "(*T).M" for methods.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	star := ""
+	if se, ok := recv.(*ast.StarExpr); ok {
+		star = "*"
+		recv = se.X
+	}
+	// Strip generic type parameters if present.
+	if ix, ok := recv.(*ast.IndexExpr); ok {
+		recv = ix.X
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return "(" + star + id.Name + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// isZeroConst reports whether the operand is a compile-time constant
+// equal to zero.
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float && v.Kind() != constant.Int {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}
+
+// sameIdent reports whether both expressions are the same plain
+// identifier (the x != x NaN idiom).
+func sameIdent(a, b ast.Expr) bool {
+	ai, aok := ast.Unparen(a).(*ast.Ident)
+	bi, bok := ast.Unparen(b).(*ast.Ident)
+	return aok && bok && ai.Name == bi.Name
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// LayeringAnalyzer enforces the README's import DAG over the packages
+// under Config.LayeringRoot. The matrix in Config.AllowedDeps (which
+// layering_test.go used to carry as its own walker) is the single
+// source of truth: each governed package may import only the governed
+// packages it lists, stdlib always allowed. Substrate packages — the
+// numeric substrate and the device models — additionally must never
+// import anything whose path ends in one of the banned suffixes, so
+// mathx can never grow a sneaky dependency on chips or benchmarks even
+// if the matrix is edited carelessly.
+var LayeringAnalyzer = &Analyzer{
+	Name: "layering",
+	Doc:  "enforce the internal-package import DAG and substrate purity",
+	Run:  runLayering,
+}
+
+func runLayering(pass *Pass) {
+	cfg := pass.Cfg
+	rel, ok := cfg.rel(pass.Pkg.Path)
+	if !ok {
+		return
+	}
+	root := cfg.LayeringRoot + "/"
+	pkgRel, governed := strings.CutPrefix(rel, root)
+	if !governed {
+		return
+	}
+	allowed, inMatrix := cfg.AllowedDeps[pkgRel]
+	if !inMatrix {
+		if len(pass.Pkg.Files) > 0 {
+			pass.Reportf(pass.Pkg.Files[0].Name.Pos(), "package %s missing from the layering matrix in internal/analysis/config.go", pass.Pkg.Path)
+		}
+		return
+	}
+	allowedSet := map[string]bool{}
+	for _, a := range allowed {
+		allowedSet[a] = true
+	}
+	substrate := false
+	for _, s := range cfg.Substrates {
+		if s == pkgRel {
+			substrate = true
+		}
+	}
+	prefix := cfg.ModulePath + "/" + root
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if substrate {
+				for _, banned := range cfg.SubstrateBans {
+					if strings.HasSuffix(path, banned) {
+						pass.Reportf(imp.Pos(), "substrate package %s imports %s; substrates must stay pure of chips, benchmarks, and the framework", pass.Pkg.Path, path)
+					}
+				}
+			}
+			dep, governedDep := strings.CutPrefix(path, prefix)
+			if !governedDep {
+				continue
+			}
+			if !allowedSet[dep] {
+				pass.Reportf(imp.Pos(), "%s imports %s, which the layering matrix forbids (allowed: %s)", pkgRel, dep, strings.Join(allowed, ", "))
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Package determinism seeds every violation class the determinism
+// analyzer must catch, plus the sanctioned alternatives it must not
+// flag. Loaded only by the golden-diagnostic tests (testdata is
+// invisible to builds and to accordionvet's ./... expansion).
+package determinism
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/mathx"
+)
+
+// Simulate is a stand-in simulation kernel.
+func Simulate(seed int64) float64 {
+	start := time.Now() // want `time.Now in simulation package`
+	_ = start
+	elapsed := time.Since(start) // want `time.Since in simulation package`
+	_ = elapsed
+
+	_ = rand.Float64()                 // want `global math/rand.Float64`
+	_ = rand.Intn(7)                   // want `global math/rand.Intn`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand.Shuffle`
+
+	// Constructors are fine: a locally seeded source is deterministic.
+	local := rand.New(rand.NewSource(seed))
+	_ = local.Float64()
+
+	// The repository's own RNG is the sanctioned path.
+	rng := mathx.NewRNG(seed)
+	return rng.Float64()
+}
+
+// Fork spawns an ad-hoc goroutine, which the bounded pool forbids.
+func Fork(done chan struct{}) {
+	go func() { // want `bare go statement`
+		close(done)
+	}()
+}

@@ -1,0 +1,37 @@
+// Package floateq seeds float-equality violations alongside the three
+// sanctioned escapes: NaN self-comparison, zero sentinels, and
+// allowlisted exact-key functions.
+package floateq
+
+// Close compares computed floats exactly: the canonical latent bug.
+func Close(a, b float64) bool {
+	return a == b // want `== on float operands`
+}
+
+// Differs is the != spelling of the same bug.
+func Differs(xs []float64, y float64) bool {
+	for _, x := range xs {
+		if x != y { // want `!= on float operands`
+			return true
+		}
+	}
+	return false
+}
+
+// IsNaN uses the idiomatic self-comparison; never flagged.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Guard uses the exact-zero sentinel; never flagged.
+func Guard(scale float64) float64 {
+	if scale == 0 {
+		scale = 1
+	}
+	return scale
+}
+
+// ExactKey is allowlisted by the test config; its comparisons pass.
+func ExactKey(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,9 @@
+// Package a is a substrate in the layering testdata: its matrix entry
+// allows sink, but the substrate ban list forbids anything ending in
+// /sink, so the import below trips the purity rule (and only it).
+package a
+
+import "repro/internal/analysis/testdata/src/layering/sink" // want `substrate package .* imports .*sink`
+
+// FromSink re-exports the leaf value.
+const FromSink = sink.Value

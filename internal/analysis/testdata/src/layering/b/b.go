@@ -1,0 +1,7 @@
+// Package b imports a, which its matrix entry does not allow.
+package b
+
+import "repro/internal/analysis/testdata/src/layering/a" // want `b imports a, which the layering matrix forbids`
+
+// Again re-exports through the forbidden edge.
+const Again = a.FromSink

@@ -1,0 +1,5 @@
+// Package orphan has no layering-matrix entry at all.
+package orphan // want `package .*orphan missing from the layering matrix`
+
+// Lonely keeps the package non-empty.
+const Lonely = true

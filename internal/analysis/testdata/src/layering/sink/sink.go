@@ -1,0 +1,5 @@
+// Package sink is a leaf the layering testdata imports.
+package sink
+
+// Value is exported so importers have something to use.
+const Value = 42

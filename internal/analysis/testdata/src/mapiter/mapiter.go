@@ -1,0 +1,64 @@
+// Package mapiter seeds ordered-output-from-map-iteration violations
+// and the sanctioned collect-then-sort idioms.
+package mapiter
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderUnsorted writes map entries straight into a builder: the bytes
+// differ run to run.
+func RenderUnsorted(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		b.WriteString(fmt.Sprintf("%s=%d\n", k, v)) // want `map iteration writes to a strings.Builder`
+	}
+	return b.String()
+}
+
+// StreamUnsorted writes through fmt.Fprintf to an io.Writer.
+func StreamUnsorted(w io.Writer, m map[string]float64) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s %g\n", k, v) // want `map iteration writes to a writer via fmt.Fprintf`
+	}
+}
+
+// CollectUnsorted appends keys that escape the loop unsorted.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appends to "keys", which escapes the loop unsorted`
+	}
+	return keys
+}
+
+// CollectSorted is the sanctioned idiom: collect, sort, then use.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RenderSorted ranges over the sorted key slice, never the map.
+func RenderSorted(m map[string]int) string {
+	var b strings.Builder
+	for _, k := range CollectSorted(m) {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// Tally only aggregates; no ordered sink, no finding.
+func Tally(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

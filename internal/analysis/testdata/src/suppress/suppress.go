@@ -1,0 +1,38 @@
+// Package suppress exercises the //lint:ignore machinery: a justified
+// suppression that silences a real finding, an unused one, an unknown
+// analyzer, a missing justification, and a malformed directive. The
+// `want:-1` form expects the diagnostic one line above the comment
+// carrying it (driver diagnostics land on the directive's own line).
+package suppress
+
+import "time"
+
+// Justified carries a real determinism violation silenced by a
+// well-formed, justified directive: no diagnostic, Suppressed == 1.
+func Justified() int64 {
+	//lint:ignore determinism testdata exercising a justified suppression
+	return time.Now().UnixNano()
+}
+
+// Unused carries a directive with nothing to silence on its line or
+// the next; the driver reports the dead suppression itself.
+func Unused() {
+	//lint:ignore floateq no comparison ever happens here // want `unused //lint:ignore floateq`
+}
+
+// Unknown names an analyzer that does not exist.
+func Unknown() {
+	//lint:ignore nosuchanalyzer bogus justification // want `unknown analyzer "nosuchanalyzer"`
+}
+
+// Unjustified omits the mandatory reason, so the directive is rejected
+// and the violation underneath it still fires.
+func Unjustified() int64 {
+	//lint:ignore determinism
+	return time.Now().UnixNano() // want:-1 `needs a justification` // want `time.Now in simulation package`
+}
+
+// Malformed is not even a well-shaped ignore directive.
+func Malformed() {
+	//lint:ignoreall determinism scattershot directives are typos // want `malformed lint directive`
+}

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"repro/internal/converge"
 	"repro/internal/mathx"
@@ -193,10 +192,7 @@ func (f *Factory) Config() Config { return f.cfg }
 
 // Sample draws one chip. The same seed always yields the same chip.
 func (f *Factory) Sample(seed int64) *Chip {
-	var start time.Time
-	if telemetry.On() {
-		start = time.Now()
-	}
+	timer := telemetry.StartTimer()
 	cfg := f.cfg
 	rng := mathx.NewRNG(seed)
 	vthDev := f.vthSampler.Sample(rng.Split(1))
@@ -245,9 +241,7 @@ func (f *Factory) Sample(seed int64) *Chip {
 		Int("cores", int64(len(ch.Cores))).
 		Float("vddntv", ch.vddNTV).
 		Emit()
-	if !start.IsZero() {
-		telDrawNs.Observe(time.Since(start).Nanoseconds())
-	}
+	timer.ObserveIn(telDrawNs)
 	return ch
 }
 

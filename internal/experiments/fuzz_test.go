@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzFirstFloat throws arbitrary note text plus an arbitrary float at
+// the tokenizer and pins its contract: it never panics, a digit-free
+// string never matches, a match is always finite (overflowing tokens
+// like "1e999" are skipped, "nan"/"inf" words never start a number),
+// and embedding a formatted float between non-token delimiters always
+// recovers exactly that float.
+func FuzzFirstFloat(f *testing.F) {
+	f.Add("energy 2.4x at 0.55V", 1.25)
+	f.Add("v2metric 1.2.3", -0.0)
+	f.Add("", math.MaxFloat64)
+	f.Add("no numbers here", 5e-324)
+	f.Add("-.5 leading point", -1e17)
+	f.Fuzz(func(t *testing.T, s string, v float64) {
+		got, ok := FirstFloat(s)
+		if ok && (math.IsNaN(got) || math.IsInf(got, 0)) {
+			t.Fatalf("FirstFloat(%q) = %v: matches must be finite", s, got)
+		}
+		if !strings.ContainsAny(s, "0123456789") && ok {
+			t.Fatalf("FirstFloat(%q) = %v, true: no digits to match", s, got)
+		}
+		// Determinism: same input, same answer.
+		got2, ok2 := FirstFloat(s)
+		if ok != ok2 || math.Float64bits(got) != math.Float64bits(got2) {
+			t.Fatalf("FirstFloat(%q) unstable: (%v,%v) then (%v,%v)", s, got, ok, got2, ok2)
+		}
+		// Exact recovery of a formatted float from delimited context.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return
+		}
+		tok := strconv.FormatFloat(v, 'g', -1, 64)
+		embedded := "metric = " + tok + " units"
+		ev, eok := FirstFloat(embedded)
+		if !eok {
+			t.Fatalf("FirstFloat(%q) found nothing", embedded)
+		}
+		if math.Float64bits(ev) != math.Float64bits(v) {
+			t.Fatalf("FirstFloat(%q) = %v, want %v", embedded, ev, v)
+		}
+	})
+}

@@ -53,8 +53,13 @@ func RunMany(ctx context.Context, cfg Config, ids []string) ([]RunResult, error)
 			tsp = trace.StartFrom(wctx, "experiments.run."+ids[i])
 			rctx = trace.NewContext(wctx, tsp)
 		}
+		// Per-runner wall time is reporting, not simulation: it feeds
+		// RunResult.Elapsed and the provenance manifest, and no model
+		// output depends on it.
+		//lint:ignore determinism wall-clock runner timing feeds the provenance manifest only
 		start := time.Now()
 		tables, err := reg[ids[i]](rctx, cfg)
+		//lint:ignore determinism wall-clock runner timing feeds the provenance manifest only
 		elapsed := time.Since(start)
 		tsp.End()
 		sp.End()

@@ -1,0 +1,57 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFFTSizes runs the planned FFT at arbitrary lengths — power-of-two
+// (radix-2), everything else (Bluestein) — against the O(n^2) reference
+// DFT from fft_test.go, and checks Inverse(Forward(x)) returns x. This
+// is the transform the circulant field sampler trusts for bit-stable
+// embeddings, so every reachable length must agree with the definition,
+// not just the sizes the table tests enumerate.
+func FuzzFFTSizes(f *testing.F) {
+	f.Add(uint16(1), int64(1))
+	f.Add(uint16(8), int64(42))
+	f.Add(uint16(12), int64(7))
+	f.Add(uint16(243), int64(-9))
+	f.Add(uint16(257), int64(1234567))
+	f.Fuzz(func(t *testing.T, rawN uint16, seed int64) {
+		// Cap the length so the O(n^2) reference stays fast; 1..300
+		// covers both kernels, prime lengths, and the 2n-1 padding edge.
+		n := 1 + int(rawN)%300
+		rng := NewRNG(seed)
+		re, im := randComplex(n, rng)
+		origRe := append([]float64(nil), re...)
+		origIm := append([]float64(nil), im...)
+
+		wantRe, wantIm := naiveDFT(re, im, false)
+		p := NewFFTPlan(n)
+		if p.N() != n {
+			t.Fatalf("NewFFTPlan(%d).N() = %d", n, p.N())
+		}
+		p.Forward(re, im)
+		tol := 1e-9 * float64(n)
+		if d := maxAbsDiff(re, wantRe); d > tol {
+			t.Fatalf("n=%d seed=%d: forward real error %g > %g", n, seed, d, tol)
+		}
+		if d := maxAbsDiff(im, wantIm); d > tol {
+			t.Fatalf("n=%d seed=%d: forward imag error %g > %g", n, seed, d, tol)
+		}
+
+		p.Inverse(re, im)
+		tol = 1e-10 * float64(n)
+		if d := maxAbsDiff(re, origRe); d > tol {
+			t.Fatalf("n=%d seed=%d: round-trip real error %g > %g", n, seed, d, tol)
+		}
+		if d := maxAbsDiff(im, origIm); d > tol {
+			t.Fatalf("n=%d seed=%d: round-trip imag error %g > %g", n, seed, d, tol)
+		}
+		for i := range re {
+			if math.IsNaN(re[i]) || math.IsNaN(im[i]) {
+				t.Fatalf("n=%d seed=%d: NaN at index %d after round trip", n, seed, i)
+			}
+		}
+	})
+}

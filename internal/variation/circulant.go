@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"time"
 
 	"repro/internal/mathx"
 	"repro/internal/parallel"
@@ -250,10 +249,7 @@ func (s *CirculantSampler) SampleTo(dst []float64, rng *mathx.RNG) {
 	if len(dst) != s.w*s.h {
 		panic("variation: SampleTo buffer length mismatch")
 	}
-	var start time.Time
-	if telemetry.On() {
-		start = time.Now()
-	}
+	timer := telemetry.StartTimer()
 	s.mu.Lock()
 	if s.eig != nil {
 		// Spectrally-shaped complex white noise: with Z1 + i*Z2 per
@@ -281,9 +277,7 @@ func (s *CirculantSampler) SampleTo(dst []float64, rng *mathx.RNG) {
 			dst[i] += s.sigmaRnd * rng.StdNormal()
 		}
 	}
-	if !start.IsZero() {
-		telSampleNs.Observe(time.Since(start).Nanoseconds())
-	}
+	timer.ObserveIn(telSampleNs)
 }
 
 // emitFieldSampled records the domain event for one SampleField call.

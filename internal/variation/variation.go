@@ -44,7 +44,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"time"
 
 	"repro/internal/mathx"
 	"repro/internal/parallel"
@@ -256,10 +255,7 @@ func (s *Sampler) Params() FieldParams { return s.params }
 // fractional deviation of the parameter at point i, so the actual
 // parameter value is nominal * (1 + dev[i]).
 func (s *Sampler) Sample(rng *mathx.RNG) []float64 {
-	var start time.Time
-	if telemetry.On() {
-		start = time.Now()
-	}
+	timer := telemetry.StartTimer()
 	dev := make([]float64, s.n)
 	if s.chol != nil {
 		z := make([]float64, s.n)
@@ -274,9 +270,7 @@ func (s *Sampler) Sample(rng *mathx.RNG) []float64 {
 			dev[i] += s.sigmaRnd * rng.StdNormal()
 		}
 	}
-	if !start.IsZero() {
-		telSampleNs.Observe(time.Since(start).Nanoseconds())
-	}
+	timer.ObserveIn(telSampleNs)
 	return dev
 }
 

@@ -1,124 +1,75 @@
 package repro_test
 
 import (
-	"go/build"
-	"os"
-	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
-// The README promises strict layering; this test makes the promise an
-// invariant. Each internal package may import only the internal
-// packages listed here (stdlib is always allowed).
-var allowedDeps = map[string][]string{
-	"mathx":            {},
-	"telemetry":        {},
-	"telemetry/trace":  {"telemetry"},
-	"telemetry/events": {"telemetry"},
-	"converge":         {"telemetry"},
-	"provenance":       {},
-	"parallel":         {"telemetry", "telemetry/trace"},
-	"tech":             {"mathx"},
-	"variation":        {"mathx", "parallel", "telemetry", "telemetry/events"},
-	"chip":             {"converge", "mathx", "parallel", "tech", "telemetry", "telemetry/events", "telemetry/trace", "variation"},
-	"power":            {"chip"},
-	"sim":              {"mathx"},
-	"quality":          {},
-	"fault":            {"mathx", "parallel", "telemetry/events"},
-	"workload":         {"mathx"},
-	"rms":              {"fault", "parallel", "quality", "sim", "telemetry/events"},
-	"rms/canneal":      {"fault", "mathx", "rms", "sim", "workload"},
-	"rms/ferret":       {"fault", "rms", "sim", "workload"},
-	"rms/bodytrack":    {"fault", "mathx", "quality", "rms", "sim", "workload"},
-	"rms/xh264":        {"fault", "mathx", "quality", "rms", "sim", "workload"},
-	"rms/hotspot":      {"fault", "mathx", "quality", "rms", "sim", "workload"},
-	"rms/srad":         {"fault", "mathx", "quality", "rms", "sim", "workload"},
-	"rms/btcmine":      {"fault", "rms", "sim"},
-	"rms/rmstest":      {"fault", "rms", "sim"},
-	"core":             {"chip", "fault", "mathx", "parallel", "power", "rms", "sim", "tech", "telemetry/events", "telemetry/trace"},
-	"atlas":            {"chip", "fault", "telemetry/events"},
-	"baseline":         {"chip", "power"},
-	"experiments": {"baseline", "chip", "core", "fault", "mathx", "parallel", "power",
-		"rms", "rms/bodytrack", "rms/btcmine", "rms/canneal", "rms/ferret",
-		"rms/hotspot", "rms/srad", "rms/xh264", "sim", "tech", "telemetry", "telemetry/trace", "variation"},
-}
+// layeringRun loads and analyzes ./internal/... once; both tests below
+// read the shared result (a full source-importer load costs seconds).
+var layeringRun = sync.OnceValues(func() (analysis.Result, error) {
+	cfg, err := analysis.DefaultConfig(".")
+	if err != nil {
+		return analysis.Result{}, err
+	}
+	return analysis.Run(cfg, []string{"./internal/..."})
+})
 
+// The README promises strict layering. The matrix lives in
+// internal/analysis/config.go and is enforced by accordionvet's
+// layering analyzer (`go run ./cmd/accordionvet ./...`, the CI lint
+// job); this test is a thin wrapper that runs the same analyzer under
+// `go test ./...`, so the promise stays an invariant even for
+// contributors who never run the linter.
 func TestInternalLayering(t *testing.T) {
-	const prefix = "repro/internal/"
-	root := filepath.Join(".", "internal")
-	var pkgs []string
-	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
-		if err != nil {
-			return err
-		}
-		if info.IsDir() {
-			entries, err := os.ReadDir(path)
-			if err != nil {
-				return err
-			}
-			for _, e := range entries {
-				if strings.HasSuffix(e.Name(), ".go") {
-					rel, err := filepath.Rel(root, path)
-					if err != nil {
-						return err
-					}
-					pkgs = append(pkgs, filepath.ToSlash(rel))
-					break
-				}
-			}
-		}
-		return nil
-	})
+	cfg, err := analysis.DefaultConfig(".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) < 15 {
-		t.Fatalf("found only %d internal packages", len(pkgs))
+	if len(cfg.AllowedDeps) < 15 {
+		t.Fatalf("layering matrix lists only %d internal packages", len(cfg.AllowedDeps))
 	}
-	for _, pkg := range pkgs {
-		allowed, ok := allowedDeps[pkg]
-		if !ok {
-			t.Errorf("package internal/%s missing from the layering matrix", pkg)
-			continue
-		}
-		allowedSet := map[string]bool{}
-		for _, a := range allowed {
-			allowedSet[a] = true
-		}
-		bp, err := build.ImportDir(filepath.Join(root, pkg), 0)
-		if err != nil {
-			t.Errorf("internal/%s: %v", pkg, err)
-			continue
-		}
-		// Non-test imports only: tests may reach sideways (e.g. solver
-		// tests import kernels).
-		for _, imp := range bp.Imports {
-			if !strings.HasPrefix(imp, prefix) {
-				continue // stdlib
-			}
-			dep := strings.TrimPrefix(imp, prefix)
-			if !allowedSet[dep] {
-				t.Errorf("internal/%s imports internal/%s, which the layering forbids", pkg, dep)
-			}
+	res, err := layeringRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "layering" {
+			t.Errorf("%s", d)
 		}
 	}
 }
 
 // Substrate purity: the numeric substrate and the device models must
-// never know about chips, benchmarks, or the framework.
+// never know about chips, benchmarks, or the framework. The ban list
+// also lives in the analyzer config; this wrapper pins that the config
+// actually names the substrates (an emptied list would silently pass).
 func TestSubstratesStayPure(t *testing.T) {
-	for _, pkg := range []string{"mathx", "tech", "telemetry", "variation", "quality", "sim", "fault", "workload"} {
-		bp, err := build.ImportDir(filepath.Join("internal", pkg), 0)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, imp := range bp.Imports {
-			for _, banned := range []string{"/chip", "/core", "/rms", "/power", "/baseline", "/experiments"} {
-				if strings.HasSuffix(imp, banned) {
-					t.Errorf("substrate internal/%s imports %s", pkg, imp)
-				}
+	cfg, err := analysis.DefaultConfig(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mathx", "tech", "telemetry", "variation", "quality", "sim", "fault", "workload"} {
+		found := false
+		for _, s := range cfg.Substrates {
+			if s == want {
+				found = true
 			}
+		}
+		if !found {
+			t.Errorf("substrate %q missing from the analyzer config", want)
+		}
+	}
+	res, err := layeringRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "layering" && strings.Contains(d.Message, "substrate") {
+			t.Errorf("%s", d)
 		}
 	}
 }

@@ -13,7 +13,7 @@
 # dense draws beat the FFT's constant factor, which is why SampleField
 # keeps the dense path below ExactSampleCap.
 set -eu
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 out="${1:-BENCH_field.json}"
 benchtime="${BENCHTIME:-10x}"
 
@@ -45,6 +45,7 @@ require_nsop() {
 
 run() {
     echo "benchmarking $1..." >&2
+    # shellcheck disable=SC2046 # splitting is the point: "<ns/op> <allocs/op>"
     set -- "$1" $(bench "$1")
     require_nsop "$1" "${2:-}"
     require_nsop "$1-allocs" "${3:-}"

@@ -11,7 +11,7 @@
 # cores the ratio degrades toward 1x by construction (the pool width
 # defaults to GOMAXPROCS).
 set -eu
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 out="${1:-BENCH_parallel.json}"
 benchtime="${BENCHTIME:-2x}"
 

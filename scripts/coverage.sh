@@ -5,7 +5,7 @@
 # Usage: scripts/coverage.sh [profile.out]
 #   COVER_MIN=70 scripts/coverage.sh    # override the floor (percent)
 set -eu
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 profile="${1:-coverage.out}"
 min="${COVER_MIN:-70}"
 
