@@ -2,7 +2,7 @@
 # mandatory since the worker pool and the memoized model caches put
 # goroutines on shared chips, fronts, and Cholesky factors. `make ci`
 # mirrors .github/workflows/ci.yml locally, job for job.
-.PHONY: tier1 race bench-parallel bench-field golden ci fmt-check cover lint fuzz
+.PHONY: tier1 race bench-parallel bench-field golden ci fmt-check cover lint fuzz service-smoke
 
 tier1:
 	go build ./... && go test ./...
@@ -67,6 +67,12 @@ bench-parallel:
 # Measure dense vs circulant field sampling and record BENCH_field.json.
 bench-field:
 	./scripts/bench_field.sh
+
+# Start accordiond with a small queue, drive it with its own load
+# generator (sweep, backpressure, determinism, graceful drain), and
+# record BENCH_service.json; mirrors the CI service-smoke job.
+service-smoke:
+	P99_MAX=5s ./scripts/bench_service.sh
 
 # Regenerate the pinned golden artifacts after an intentional model change.
 golden:

@@ -1,0 +1,383 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// loadFlags is the -load client mode: a stdlib-only load generator
+// that drives a live accordiond and writes BENCH_service.json. It is
+// the tool behind scripts/bench_service.sh and the CI service-smoke
+// job, so it also *gates*: any response status outside {200, 202, 429}
+// fails the run, as do a missing 429 under deliberate overflow,
+// non-identical bytes for identical requests, and (when -load-p99-max
+// is set) a p99 above the bound.
+type loadFlags struct {
+	url          string
+	requests     int
+	concurrency  int
+	distinct     int
+	experiment   string
+	chips        int
+	overflow     int
+	overflowExp  string
+	overflowChip int
+	p99Max       time.Duration
+	timeout      time.Duration
+	out          string
+}
+
+func newLoadFlags(fs *flag.FlagSet) *loadFlags {
+	l := &loadFlags{}
+	fs.StringVar(&l.url, "load", "", "run as a load generator against this base URL (e.g. http://localhost:8344) instead of serving")
+	fs.IntVar(&l.requests, "load-requests", 64, "total requests in the sweep phase")
+	fs.IntVar(&l.concurrency, "load-concurrency", 8, "concurrent client goroutines")
+	fs.IntVar(&l.distinct, "load-distinct", 4, "distinct request seeds rotated through the sweep (the rest coalesce)")
+	fs.StringVar(&l.experiment, "load-experiment", "fig1a", "experiment id each request runs")
+	fs.IntVar(&l.chips, "load-chips", 4, "population size each request uses")
+	fs.IntVar(&l.overflow, "load-overflow", 0, "overflow-phase burst size (0 = skip; must exceed queue+workers to prove 429s)")
+	fs.StringVar(&l.overflowExp, "load-overflow-experiment", "population", "experiment id the overflow burst runs (slow enough to hold the queue full)")
+	fs.IntVar(&l.overflowChip, "load-overflow-chips", 8, "population size each overflow request uses")
+	fs.DurationVar(&l.p99Max, "load-p99-max", 0, "fail if sweep p99 latency exceeds this (0 = record only)")
+	fs.DurationVar(&l.timeout, "load-timeout", 2*time.Minute, "per-request client timeout")
+	fs.StringVar(&l.out, "load-out", "BENCH_service.json", "benchmark JSON output path")
+	return l
+}
+
+// body builds the request payload for one sweep slot; slots rotate
+// through `distinct` seeds so the server sees a mix of fresh jobs and
+// coalescable repeats.
+func (l *loadFlags) body(seed int64) []byte {
+	return buildBody(l.experiment, l.chips, seed)
+}
+
+func buildBody(experiment string, chips int, seed int64) []byte {
+	doc := map[string]any{
+		"kind":        "experiments",
+		"experiments": []string{experiment},
+		"chips":       chips,
+		"seed":        seed,
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// benchDoc is the BENCH_service.json schema.
+type benchDoc struct {
+	URL         string             `json:"url"`
+	Experiment  string             `json:"experiment"`
+	Chips       int                `json:"chips"`
+	Requests    int                `json:"requests"`
+	Concurrency int                `json:"concurrency"`
+	Distinct    int                `json:"distinct"`
+	Sweep       sweepDoc           `json:"sweep"`
+	Overflow    *overflowDoc       `json:"overflow,omitempty"`
+	Determinism determinismDoc     `json:"determinism"`
+	Caches      map[string]rateDoc `json:"caches"`
+	Service     serviceDoc         `json:"service"`
+}
+
+type sweepDoc struct {
+	WallMs        float64 `json:"wall_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	OK            int     `json:"ok_200"`
+	Rejected      int     `json:"rejected_429"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+}
+
+type overflowDoc struct {
+	Attempts int `json:"attempts"`
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected_429"`
+}
+
+type determinismDoc struct {
+	Identical bool `json:"identical"`
+	Bytes     int  `json:"bytes"`
+}
+
+type rateDoc struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+type serviceDoc struct {
+	Requests  int64 `json:"requests"`
+	Rejected  int64 `json:"rejected"`
+	Coalesced int64 `json:"coalesced"`
+}
+
+func (l *loadFlags) run() error {
+	if l.requests < 1 || l.concurrency < 1 || l.distinct < 1 {
+		return fmt.Errorf("-load-requests, -load-concurrency and -load-distinct must be positive")
+	}
+	client := &http.Client{Timeout: l.timeout}
+	if err := l.waitHealthy(client); err != nil {
+		return err
+	}
+
+	doc := benchDoc{
+		URL:         l.url,
+		Experiment:  l.experiment,
+		Chips:       l.chips,
+		Requests:    l.requests,
+		Concurrency: l.concurrency,
+		Distinct:    l.distinct,
+	}
+
+	// Sweep: l.requests POSTs to /run from l.concurrency goroutines,
+	// rotating through l.distinct seeds. With distinct <= queue depth
+	// every request must come back 200 (coalescing keeps the queue
+	// footprint at `distinct` jobs); latency is recorded per request.
+	latencies := make([]time.Duration, l.requests)
+	statuses := make([]int, l.requests)
+	errs := make([]error, l.requests)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	sweepStart := time.Now()
+	for w := 0; w < l.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body := l.body(1 + int64(i%l.distinct))
+				t0 := time.Now()
+				status, _, err := l.post(client, "/run", body)
+				latencies[i] = time.Since(t0)
+				statuses[i] = status
+				errs[i] = err
+			}
+		}()
+	}
+	for i := 0; i < l.requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(sweepStart)
+
+	var okLat []time.Duration
+	for i := range statuses {
+		switch {
+		case errs[i] != nil:
+			return fmt.Errorf("sweep request %d: %w", i, errs[i])
+		case statuses[i] == http.StatusOK:
+			doc.Sweep.OK++
+			okLat = append(okLat, latencies[i])
+		case statuses[i] == http.StatusTooManyRequests:
+			doc.Sweep.Rejected++
+		default:
+			return fmt.Errorf("sweep request %d: unexpected status %d (only 200 and 429 are acceptable)", i, statuses[i])
+		}
+	}
+	if doc.Sweep.OK == 0 {
+		return fmt.Errorf("sweep: no request succeeded (%d rejected)", doc.Sweep.Rejected)
+	}
+	doc.Sweep.WallMs = float64(wall.Microseconds()) / 1e3
+	doc.Sweep.ThroughputRPS = float64(l.requests) / wall.Seconds()
+	doc.Sweep.P50Ms = ms(percentile(okLat, 0.50))
+	doc.Sweep.P95Ms = ms(percentile(okLat, 0.95))
+	doc.Sweep.P99Ms = ms(percentile(okLat, 0.99))
+	if l.p99Max > 0 && percentile(okLat, 0.99) > l.p99Max {
+		return fmt.Errorf("sweep p99 %.1fms exceeds the %.1fms bound", doc.Sweep.P99Ms, ms(l.p99Max))
+	}
+
+	// Determinism gate: the same body twice must yield byte-identical
+	// responses (the second is typically served from the retained job,
+	// but the contract holds either way).
+	detBody := l.body(1)
+	_, first, err := l.post(client, "/run", detBody)
+	if err != nil {
+		return fmt.Errorf("determinism request: %w", err)
+	}
+	_, second, err := l.post(client, "/run", detBody)
+	if err != nil {
+		return fmt.Errorf("determinism request: %w", err)
+	}
+	doc.Determinism.Identical = bytes.Equal(first, second)
+	doc.Determinism.Bytes = len(first)
+	if !doc.Determinism.Identical {
+		return fmt.Errorf("identical requests returned different bodies (%d vs %d bytes)", len(first), len(second))
+	}
+
+	// Overflow: a concurrent burst of distinct, never-seen seeds
+	// against the bounded queue. The burst runs a deliberately slow
+	// request shape (Monte-Carlo population jobs, seconds each, vs the
+	// sweep's millisecond solver runs) so the absorbed jobs hold the
+	// workers and the queue full while the rest of the burst lands. The
+	// burst exceeds queue+workers, so at least one 429 (with nothing
+	// else unexpected) proves the backpressure path answers instead of
+	// queueing without bound.
+	if l.overflow > 0 {
+		of := &overflowDoc{Attempts: l.overflow}
+		results := make([]int, l.overflow)
+		oerrs := make([]error, l.overflow)
+		var owg sync.WaitGroup
+		for i := 0; i < l.overflow; i++ {
+			owg.Add(1)
+			go func(i int) {
+				defer owg.Done()
+				body := buildBody(l.overflowExp, l.overflowChip, 1000+int64(i))
+				status, _, err := l.post(client, "/jobs", body)
+				results[i] = status
+				oerrs[i] = err
+			}(i)
+		}
+		owg.Wait()
+		for i, status := range results {
+			switch {
+			case oerrs[i] != nil:
+				return fmt.Errorf("overflow request %d: %w", i, oerrs[i])
+			case status == http.StatusAccepted || status == http.StatusOK:
+				of.Accepted++
+			case status == http.StatusTooManyRequests:
+				of.Rejected++
+			default:
+				return fmt.Errorf("overflow request %d: unexpected status %d", i, status)
+			}
+		}
+		if of.Rejected == 0 {
+			return fmt.Errorf("overflow burst of %d produced no 429: queue not exerting backpressure", l.overflow)
+		}
+		doc.Overflow = of
+	}
+
+	if err := l.scrape(client, &doc); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(l.out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "accordiond: load: wrote %s\n", l.out)
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+// post sends one JSON request and returns the status and body.
+func (l *loadFlags) post(client *http.Client, path string, body []byte) (int, []byte, error) {
+	resp, err := client.Post(l.url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// waitHealthy polls /healthz until the daemon answers 200.
+func (l *loadFlags) waitHealthy(client *http.Client) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := client.Get(l.url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server never became healthy: %w", err)
+			}
+			return fmt.Errorf("server never became healthy")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// scrape reads /telemetryz and extracts the cache hit rates and the
+// service counters into the bench document.
+func (l *loadFlags) scrape(client *http.Client, doc *benchDoc) error {
+	resp, err := client.Get(l.url + "/telemetryz")
+	if err != nil {
+		return fmt.Errorf("scraping /telemetryz: %w", err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("decoding /telemetryz: %w", err)
+	}
+	hits := map[string]int64{}
+	misses := map[string]int64{}
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "service.requests":
+			doc.Service.Requests = c.Value
+		case "service.rejected":
+			doc.Service.Rejected = c.Value
+		case "service.coalesced":
+			doc.Service.Coalesced = c.Value
+		}
+		if name, ok := strings.CutPrefix(c.Name, "cache."); ok {
+			if base, ok := strings.CutSuffix(name, ".hits"); ok {
+				hits[base] = c.Value
+			} else if base, ok := strings.CutSuffix(name, ".misses"); ok {
+				misses[base] = c.Value
+			}
+		}
+	}
+	doc.Caches = map[string]rateDoc{}
+	for name, h := range hits {
+		m := misses[name]
+		r := rateDoc{Hits: h, Misses: m}
+		if h+m > 0 {
+			r.HitRate = float64(h) / float64(h+m)
+		}
+		doc.Caches[name] = r
+	}
+	for name, m := range misses {
+		if _, ok := hits[name]; !ok {
+			doc.Caches[name] = rateDoc{Misses: m}
+		}
+	}
+	return nil
+}
+
+// percentile returns the q-quantile of the recorded latencies
+// (nearest-rank on a sorted copy).
+func percentile(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }

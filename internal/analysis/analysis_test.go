@@ -122,6 +122,17 @@ func TestDeterminismGolden(t *testing.T) {
 	runGolden(t, cfg, "./"+tdata+"/determinism")
 }
 
+// TestServiceDeterminismGolden pins that the determinism analyzer
+// keeps firing under the service-layer rule set internal/service is
+// registered under: wall-clock reads, global rand draws, and bare
+// worker goroutines are findings there too, while the injected-clock
+// and blocking-worker shapes the real package uses stay clean.
+func TestServiceDeterminismGolden(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.SimPackages = []string{tdata + "/servicedet"}
+	runGolden(t, cfg, "./"+tdata+"/servicedet")
+}
+
 func TestMapIterGolden(t *testing.T) {
 	runGolden(t, testConfig(t), "./"+tdata+"/mapiter")
 }

@@ -44,6 +44,12 @@ func DefaultCatalog() *Catalog {
 			"events.emitted",
 			"events.dropped",
 			"trace.dropped",
+			// accordiond job queue
+			"service.requests",
+			"service.rejected",
+			"service.coalesced",
+			"service.inflight",
+			"service.latency_ns",
 		),
 		MetricPrefixes: []string{
 			"cache.",           // cache.<Name>.{hits,misses,evictions}

@@ -93,6 +93,11 @@ func DefaultConfig(startDir string) (*Config, error) {
 			"internal/variation",
 			"internal/sim",
 			"internal/experiments",
+			// The service core promises byte-identical responses for
+			// identical requests, so it lives under the same rules: no
+			// wall clock (injected via Config.Now), no global rand, no
+			// goroutines (the daemon owns them all).
+			"internal/service",
 		},
 
 		LayeringRoot: "internal",
@@ -132,6 +137,7 @@ func DefaultConfig(startDir string) (*Config, error) {
 			"experiments": {"baseline", "chip", "core", "fault", "mathx", "parallel", "power",
 				"rms", "rms/bodytrack", "rms/btcmine", "rms/canneal", "rms/ferret",
 				"rms/hotspot", "rms/srad", "rms/xh264", "sim", "tech", "telemetry", "telemetry/trace", "variation"},
+			"service": {"experiments", "provenance", "telemetry"},
 		},
 		// Substrate purity: the numeric substrate and the device models
 		// must never know about chips, benchmarks, or the framework.

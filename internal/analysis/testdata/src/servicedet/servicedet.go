@@ -1,0 +1,60 @@
+// Package servicedet seeds the violations a service-layer package is
+// most tempted by, proving the determinism analyzer fires inside
+// internal/service's rule set: reading the wall clock for anything a
+// response could depend on, drawing job identifiers from global
+// math/rand, and spawning ad-hoc worker goroutines instead of letting
+// the daemon own them. The sanctioned alternatives (injected clock,
+// request-hash ids, blocking worker methods) are shown unflagged.
+package servicedet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Job is a stand-in for the service job record.
+type Job struct {
+	ID       string
+	Enqueued time.Time
+}
+
+// Server is a stand-in service core with an injected clock.
+type Server struct {
+	now   func() time.Time
+	queue chan *Job
+}
+
+// Admit stamps and identifies a job the wrong way on both counts.
+func (s *Server) Admit() *Job {
+	j := &Job{
+		Enqueued: time.Now(), // want `time.Now in simulation package`
+	}
+	_ = time.Since(j.Enqueued)               // want `time.Since in simulation package`
+	j.ID = string(rune('a' + rand.Intn(26))) // want `global math/rand.Intn`
+	return j
+}
+
+// Start spawns its own worker, which the daemon must own instead.
+func (s *Server) Start() {
+	go func() { // want `bare go statement`
+		for range s.queue {
+		}
+	}()
+}
+
+// AdmitInjected is the sanctioned shape: the clock arrives via the
+// config, so tests inject fakes and responses never depend on it —
+// a value reference to time.Now is configuration, not a read.
+func AdmitInjected(now func() time.Time) *Job {
+	if now == nil {
+		now = time.Now
+	}
+	return &Job{Enqueued: now()}
+}
+
+// Worker is the sanctioned shape for concurrency: a blocking method
+// the daemon runs on goroutines it owns.
+func (s *Server) Worker() {
+	for range s.queue {
+	}
+}

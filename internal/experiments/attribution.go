@@ -38,6 +38,8 @@ type AttributionResult struct {
 func RunAttribution(ctx context.Context, cfg Config) (AttributionResult, error) {
 	sp := trace.StartFrom(ctx, "experiments.attribution")
 	defer sp.End()
+	// Like RunMany: a concurrent ResetCaches waits for this run.
+	defer holdCaches()()
 
 	ch, err := RepresentativeChip(cfg)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/chip"
 	"repro/internal/core"
@@ -199,11 +200,35 @@ func MeasuredFronts(ctx context.Context, b rms.Benchmark, seed int64) (*core.Qua
 	})
 }
 
+// cacheGate serializes ResetCaches against in-flight experiment runs.
+// Each cache's own Reset is individually safe, but the compound reset
+// is not atomic on its own: a concurrent run could observe some layers
+// emptied and others still warm, repopulating a mixed generation.
+// RunMany and RunAttribution hold the read side for their whole
+// duration, so a reset is atomic with respect to runs: it waits for
+// every in-flight run to finish, empties all layers, and only then
+// lets new runs repopulate them.
+var cacheGate sync.RWMutex
+
+// holdCaches marks an experiment run in flight; the returned release
+// must be called when the run finishes. Do not nest holds on one
+// goroutine: a writer waiting between two read acquisitions deadlocks.
+func holdCaches() (release func()) {
+	cacheGate.RLock()
+	return cacheGate.RUnlock
+}
+
 // ResetCaches empties every process-wide memoization layer the
 // experiments depend on (shared chips, quality fronts, reference
 // executions, covariance factorizations). It exists for benchmarks and
-// equivalence tests that must measure or exercise cold-cache runs.
+// equivalence tests that must measure or exercise cold-cache runs, and
+// for long-running services that want to shed memory between bursts.
+// The reset is atomic with respect to RunMany/RunAttribution: it
+// blocks until in-flight runs complete and blocks new runs until every
+// layer is empty, so a run never sees a half-reset cache generation.
 func ResetCaches() {
+	cacheGate.Lock()
+	defer cacheGate.Unlock()
 	repChips.Reset()
 	fronts.Reset()
 	kernels.Reset()

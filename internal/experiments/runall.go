@@ -40,6 +40,9 @@ func RunMany(ctx context.Context, cfg Config, ids []string) ([]RunResult, error)
 			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 		}
 	}
+	// Hold the cache gate for the whole run so a concurrent
+	// ResetCaches cannot interleave with the memo layers mid-flight.
+	defer holdCaches()()
 	return parallel.MapCtx(ctx, len(ids), func(wctx context.Context, i int) (RunResult, error) {
 		// Per-runner stage timing lands in experiments.run.<id>; the
 		// span name is only built while telemetry records.

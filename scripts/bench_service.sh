@@ -1,0 +1,47 @@
+#!/bin/sh
+# Builds accordiond, starts it with a deliberately small queue, drives
+# it with the binary's own stdlib-only load generator (-load: sweep,
+# determinism double-POST, overflow burst), and records the results in
+# BENCH_service.json. The generator itself gates: any status outside
+# {200, 202, 429}, a missing 429 under overflow, non-identical bytes
+# for identical requests, or a sweep p99 above P99_MAX fails the run.
+# Finally the daemon gets SIGTERM and must drain gracefully (exit 0).
+#
+# Usage: scripts/bench_service.sh [output.json]
+#   QUEUE=8 WORKERS=4 REQUESTS=128 scripts/bench_service.sh
+#   P99_MAX=2s scripts/bench_service.sh     # tighter latency gate
+set -eu
+cd "$(dirname "$0")/.." || exit 1
+out="${1:-BENCH_service.json}"
+addr="${ADDR:-localhost:8344}"
+queue="${QUEUE:-4}"
+workers="${WORKERS:-2}"
+requests="${REQUESTS:-64}"
+concurrency="${CONCURRENCY:-8}"
+distinct="${DISTINCT:-4}"
+# The burst must exceed queue+workers or backpressure cannot trip.
+overflow="${OVERFLOW:-24}"
+p99max="${P99_MAX:-5s}"
+
+go build -o accordiond ./cmd/accordiond
+
+echo "bench_service: starting accordiond on $addr (queue $queue, $workers workers)..." >&2
+./accordiond -addr "$addr" -queue "$queue" -workers "$workers" \
+    -retry-after 1s -drain-timeout 60s &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT INT TERM
+
+# The load generator polls /healthz before firing, so no startup race.
+./accordiond -load "http://$addr" \
+    -load-requests "$requests" -load-concurrency "$concurrency" \
+    -load-distinct "$distinct" -load-overflow "$overflow" \
+    -load-p99-max "$p99max" -load-out "$out"
+
+echo "bench_service: draining accordiond (SIGTERM)..." >&2
+kill -TERM "$pid"
+trap - EXIT INT TERM
+if ! wait "$pid"; then
+    echo "bench_service: accordiond did not drain cleanly" >&2
+    exit 1
+fi
+echo "bench_service: graceful drain OK; wrote $out" >&2
