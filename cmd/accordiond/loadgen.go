@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -12,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry/events"
 )
 
 // loadFlags is the -load client mode: a stdlib-only load generator
@@ -87,6 +90,23 @@ type benchDoc struct {
 	Determinism determinismDoc     `json:"determinism"`
 	Caches      map[string]rateDoc `json:"caches"`
 	Service     serviceDoc         `json:"service"`
+	Ops         opsDoc             `json:"ops"`
+}
+
+// opsDoc records the observability-surface checks: the dashboard and
+// SSE stream answered, the access log carried the sweep, and the
+// rolling/SLO readouts the server computed for the same traffic the
+// client measured.
+type opsDoc struct {
+	StatuszOK         bool    `json:"statusz_ok"`
+	WatchEventKind    string  `json:"watch_event_kind"`
+	AccessLogLines    int     `json:"access_log_lines"`
+	RollingCount1m    int64   `json:"rolling_count_1m"`
+	RollingP99Ms      float64 `json:"rolling_p99_ms_1m"`
+	RollingRateRPS    float64 `json:"rolling_rate_rps_1m"`
+	RollingErrorRate  float64 `json:"rolling_error_rate_1m"`
+	SLOP99BurnMilli   int64   `json:"slo_p99_burn_milli"`
+	SLOErrorBurnMilli int64   `json:"slo_error_burn_milli"`
 }
 
 type sweepDoc struct {
@@ -260,6 +280,9 @@ func (l *loadFlags) run() error {
 	if err := l.scrape(client, &doc); err != nil {
 		return err
 	}
+	if err := l.checkOps(client, &doc); err != nil {
+		return err
+	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -322,9 +345,48 @@ func (l *loadFlags) scrape(client *http.Client, doc *benchDoc) error {
 			Name  string `json:"name"`
 			Value int64  `json:"value"`
 		} `json:"counters"`
+		Gauges []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"gauges"`
+		Windows []struct {
+			Name     string `json:"name"`
+			Horizons []struct {
+				Label      string  `json:"label"`
+				Count      int64   `json:"count"`
+				RatePerSec float64 `json:"rate_per_sec"`
+				ErrorRate  float64 `json:"error_rate"`
+				P99        int64   `json:"p99"`
+			} `json:"horizons"`
+		} `json:"windows"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		return fmt.Errorf("decoding /telemetryz: %w", err)
+	}
+	for _, g := range snap.Gauges {
+		switch g.Name {
+		case "service.slo.p99_burn_milli":
+			doc.Ops.SLOP99BurnMilli = g.Value
+		case "service.slo.error_burn_milli":
+			doc.Ops.SLOErrorBurnMilli = g.Value
+		}
+	}
+	for _, w := range snap.Windows {
+		if w.Name != "service.latency_ns" {
+			continue
+		}
+		for _, h := range w.Horizons {
+			if h.Label != "1m" {
+				continue
+			}
+			doc.Ops.RollingCount1m = h.Count
+			doc.Ops.RollingP99Ms = float64(h.P99) / 1e6
+			doc.Ops.RollingRateRPS = h.RatePerSec
+			doc.Ops.RollingErrorRate = h.ErrorRate
+		}
+	}
+	if doc.Ops.RollingCount1m == 0 {
+		return fmt.Errorf("/telemetryz: rolling service.latency_ns 1m window empty after %d requests", l.requests)
 	}
 	hits := map[string]int64{}
 	misses := map[string]int64{}
@@ -360,6 +422,97 @@ func (l *loadFlags) scrape(client *http.Client, doc *benchDoc) error {
 		}
 	}
 	return nil
+}
+
+// checkOps gates the observability surface after the sweep: /statusz
+// must serve well-formed HTML, /watch must deliver at least one SSE
+// event within a timeout, and the /eventsz access log must carry the
+// sweep's service.request lines. The server's own rolling 1m latency
+// readout and SLO burn gauges land in the bench document beside the
+// client-measured latencies.
+func (l *loadFlags) checkOps(client *http.Client, doc *benchDoc) error {
+	// Dashboard: well-formed HTML under the right content type.
+	resp, err := client.Get(l.url + "/statusz")
+	if err != nil {
+		return fmt.Errorf("GET /statusz: %w", err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("reading /statusz: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/statusz: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		return fmt.Errorf("/statusz: Content-Type %q, want text/html", ct)
+	}
+	html := string(page)
+	for _, want := range []string{"<!DOCTYPE html>", "</html>", "accordiond", "rolling latency"} {
+		if !strings.Contains(html, want) {
+			return fmt.Errorf("/statusz: page misses %q", want)
+		}
+	}
+	doc.Ops.StatuszOK = true
+
+	// Live stream: one SSE data frame within the timeout. The replay of
+	// the ring tail guarantees a frame immediately after the sweep.
+	kind, err := l.readOneSSE()
+	if err != nil {
+		return fmt.Errorf("GET /watch: %w", err)
+	}
+	doc.Ops.WatchEventKind = kind
+
+	// Access log: the NDJSON ring must parse and carry the sweep.
+	resp, err = client.Get(l.url + "/eventsz")
+	if err != nil {
+		return fmt.Errorf("GET /eventsz: %w", err)
+	}
+	evs, err := events.ParseNDJSON(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("parsing /eventsz NDJSON: %w", err)
+	}
+	for _, e := range evs {
+		if e.Kind == "service.request" {
+			doc.Ops.AccessLogLines++
+		}
+	}
+	if doc.Ops.AccessLogLines == 0 {
+		return fmt.Errorf("/eventsz: no service.request access-log events after %d requests", l.requests)
+	}
+	return nil
+}
+
+// readOneSSE connects to /watch and returns the kind of the first
+// event frame, failing after a bounded wait.
+func (l *loadFlags) readOneSSE() (string, error) {
+	sseClient := &http.Client{Timeout: 10 * time.Second}
+	resp, err := sseClient.Get(l.url + "/watch")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return "", fmt.Errorf("Content-Type %q, want text/event-stream", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		evs, err := events.ParseNDJSON(strings.NewReader(line))
+		if err != nil || len(evs) != 1 {
+			return "", fmt.Errorf("bad SSE frame %q: %v", line, err)
+		}
+		return evs[0].Kind, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("stream ended without an event frame")
 }
 
 // percentile returns the q-quantile of the recorded latencies

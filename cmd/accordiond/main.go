@@ -9,7 +9,7 @@
 //
 //	accordiond [-addr HOST:PORT] [-queue N] [-workers N] [-j N]
 //	           [-retain N] [-retry-after DUR] [-drain-timeout DUR]
-//	           [-telemetry text|json]
+//	           [-slo-p99 DUR] [-slo-error-rate F] [-telemetry text|json]
 //	accordiond -load URL [-load-requests N] [-load-concurrency N]
 //	           [-load-distinct N] [-load-experiment ID] [-load-chips N]
 //	           [-load-overflow N] [-load-p99-max DUR] [-load-out FILE]
@@ -20,17 +20,28 @@
 //	POST /jobs             submit without waiting (202 + job status)
 //	GET  /jobs/<id>        job status, timings, provenance manifest
 //	GET  /jobs/<id>/result a completed job's response bytes
-//	GET  /healthz          liveness and drain state
+//	GET  /healthz          liveness, drain state, SLO readiness
+//	GET  /statusz          HTML operator dashboard
+//	GET  /watch            live event stream (Server-Sent Events)
 //	GET  /telemetryz       telemetry snapshot (JSON)
 //	GET  /metricsz         telemetry snapshot (Prometheus text)
 //	GET  /eventsz          domain event ring (NDJSON)
 //
 // Backpressure: the job queue is bounded (-queue). When it is full,
 // submissions are answered 429 with a Retry-After header instead of
-// queueing into unbounded latency; identical in-flight or retained
-// requests coalesce onto one job and cost no slot. Responses are
-// deterministic: the same request body always yields byte-identical
-// response bytes, whatever the concurrency.
+// queueing into unbounded latency; the advertised backoff is derived
+// from the rolling service-time window (queue drain rate) once the
+// daemon has a minute of traffic, and falls back to -retry-after cold.
+// Identical in-flight or retained requests coalesce onto one job and
+// cost no slot. Responses are deterministic: the same request body
+// always yields byte-identical response bytes, whatever the
+// concurrency.
+//
+// SLO tracking: -slo-p99 and -slo-error-rate set budgets against the
+// rolling 1-minute latency window. The burn-rate gauges
+// service.slo.{p99,error}_burn_milli report the observation in
+// milli-units of the budget (1000 = exactly at target); past 1000,
+// /healthz degrades to 503 so load balancers drain the instance.
 //
 // On SIGINT/SIGTERM the daemon drains: new work is refused (503), the
 // workers finish every queued and running job within -drain-timeout,
@@ -67,8 +78,10 @@ func main() {
 		workers      = flag.Int("workers", 0, "job worker goroutines (0 = GOMAXPROCS)")
 		poolWidth    = flag.Int("j", 0, "worker-pool width for model sweeps inside a job (0 = GOMAXPROCS)")
 		retain       = flag.Int("retain", 64, "completed jobs kept addressable for /jobs/<id> and coalescing (negative = none)")
-		retryAfter   = flag.Duration("retry-after", time.Second, "client backoff advertised on 429/503 responses")
+		retryAfter   = flag.Duration("retry-after", time.Second, "minimum client backoff advertised on 429/503 responses")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown deadline for in-flight jobs")
+		sloP99       = flag.Duration("slo-p99", 0, "rolling-p99 latency budget; past it /healthz degrades (0 = off)")
+		sloErrRate   = flag.Float64("slo-error-rate", 0, "rolling error-rate budget, a fraction in (0,1]; past it /healthz degrades (0 = off)")
 		telemMode    = telemetry.ModeFlag(flag.CommandLine)
 		load         = newLoadFlags(flag.CommandLine)
 	)
@@ -95,6 +108,10 @@ func main() {
 		fail(2, "-workers must be non-negative (0 = GOMAXPROCS), got %d", *workers)
 	case *poolWidth < 0:
 		fail(2, "-j must be non-negative (0 = GOMAXPROCS), got %d", *poolWidth)
+	case *sloP99 < 0:
+		fail(2, "-slo-p99 must be non-negative, got %s", *sloP99)
+	case *sloErrRate < 0 || *sloErrRate > 1:
+		fail(2, "-slo-error-rate must be a fraction in [0,1], got %g", *sloErrRate)
 	}
 	parallel.SetWorkers(*poolWidth)
 
@@ -108,18 +125,25 @@ func main() {
 	telemetry.SetEnabled(true)
 	events.SetEnabled(true)
 
-	srv := service.New(service.Config{
+	slo := newSLOTracker(*sloP99, *sloErrRate)
+	cfg := service.Config{
 		QueueDepth: *queueDepth,
 		Workers:    *workers,
 		Retain:     *retain,
 		RetryAfter: *retryAfter,
 		Now:        time.Now,
-	})
+	}
+	if slo.enabled() {
+		cfg.ReadyCheck = slo.Ready
+	}
+	srv := service.New(cfg)
 
 	mux := srv.Mux()
 	mux.Handle("GET /telemetryz", telemetry.Handler())
 	mux.Handle("GET /metricsz", telemetry.MetricsHandler())
 	mux.Handle("GET /eventsz", events.Handler())
+	mux.Handle("GET /statusz", statuszHandler(srv, slo))
+	mux.Handle("GET /watch", watchHandler())
 
 	// The service core spawns no goroutines; the daemon owns them all.
 	workerCtx, stopWorkers := context.WithCancel(context.Background())
@@ -127,6 +151,7 @@ func main() {
 	for i := 0; i < srv.Workers(); i++ {
 		go srv.Worker(workerCtx)
 	}
+	go slo.run(workerCtx, time.Second)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	listenErr := make(chan error, 1)

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/events"
+)
+
+// TestStatuszHandler pins the dashboard contract the CI smoke curls:
+// well-formed HTML under the right headers, carrying the queue, the
+// rolling-latency table, and the SLO section.
+func TestStatuszHandler(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	telemetry.Reset()
+	telemetry.GetWindow("service.latency_ns").Observe(int64(50 * time.Millisecond))
+
+	srv := service.New(service.Config{QueueDepth: 4, Workers: 2})
+	slo := newSLOTracker(100*time.Millisecond, 0.1)
+	slo.refresh()
+	ts := httptest.NewServer(statuszHandler(srv, slo))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteString("\n")
+	}
+	body := sb.String()
+
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/html") {
+		t.Errorf("Content-Type = %q, want text/html", got)
+	}
+	if got := resp.Header.Get("Cache-Control"); got != "no-cache" {
+		t.Errorf("Cache-Control = %q, want no-cache", got)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>", "accordiond",
+		"rolling latency", "0/4", // queue len/cap
+		"p99 latency", "error rate", // SLO rows
+		"/watch",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard misses %q", want)
+		}
+	}
+	telemetry.Reset()
+}
+
+// TestStatuszDegraded: a breached SLO shows up in the state line.
+func TestStatuszDegraded(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	telemetry.Reset()
+	telemetry.GetWindow("service.latency_ns").Observe(int64(5 * time.Second))
+
+	srv := service.New(service.Config{QueueDepth: 4, Workers: 2})
+	slo := newSLOTracker(time.Millisecond, 0)
+	slo.refresh()
+	rec := httptest.NewRecorder()
+	statuszHandler(srv, slo).ServeHTTP(rec, httptest.NewRequest("GET", "/statusz", nil))
+	if !strings.Contains(rec.Body.String(), "degraded") {
+		t.Error("breached SLO not reflected in the dashboard state line")
+	}
+	telemetry.Reset()
+}
+
+// TestWatchHandler pins the SSE surface: the right headers, a ring
+// replay, and a live event delivered through the subscription.
+func TestWatchHandler(t *testing.T) {
+	defer events.SetEnabled(true)()
+	events.Reset()
+	events.New("watch.replayed").Int("n", 1).Emit()
+
+	ts := httptest.NewServer(watchHandler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", got)
+	}
+	if got := resp.Header.Get("Cache-Control"); got != "no-cache" {
+		t.Errorf("Cache-Control = %q, want no-cache", got)
+	}
+
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if line, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				lines <- line
+			}
+		}
+		close(lines)
+	}()
+	readEvent := func() events.Event {
+		t.Helper()
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("stream closed early")
+			}
+			evs, err := events.ParseNDJSON(strings.NewReader(line))
+			if err != nil || len(evs) != 1 {
+				t.Fatalf("bad SSE frame %q: %v", line, err)
+			}
+			return evs[0]
+		case <-time.After(5 * time.Second):
+			t.Fatal("no SSE frame within 5s")
+		}
+		panic("unreachable")
+	}
+
+	if e := readEvent(); e.Kind != "watch.replayed" {
+		t.Errorf("replayed frame kind = %q, want watch.replayed", e.Kind)
+	}
+	events.New("watch.live").Int("n", 2).Emit()
+	if e := readEvent(); e.Kind != "watch.live" {
+		t.Errorf("live frame kind = %q, want watch.live", e.Kind)
+	}
+	events.Reset()
+}
+
+// TestSLOTracker pins the burn math and the readiness verdict on both
+// dimensions, plus the quiet-window and at-target edges.
+func TestSLOTracker(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	telemetry.Reset()
+	w := telemetry.GetWindow("service.latency_ns")
+
+	// Quiet window: no burn, ready, whatever the targets.
+	slo := newSLOTracker(time.Millisecond, 0.001)
+	slo.refresh()
+	if err := slo.Ready(); err != nil {
+		t.Errorf("quiet window Ready = %v, want nil", err)
+	}
+
+	// p99 at 10x the budget: burn ~10000 milli, degraded.
+	for i := 0; i < 100; i++ {
+		w.Observe(int64(10 * time.Millisecond))
+	}
+	slo = newSLOTracker(time.Millisecond, 0)
+	slo.refresh()
+	p99Burn, _ := slo.burns()
+	if p99Burn <= 1000 {
+		t.Errorf("p99 burn = %d milli, want > 1000", p99Burn)
+	}
+	if err := slo.Ready(); err == nil || !strings.Contains(err.Error(), "p99") {
+		t.Errorf("Ready = %v, want a p99 budget error", err)
+	}
+
+	// Same traffic against a generous budget: within target, ready.
+	slo = newSLOTracker(10*time.Second, 0)
+	slo.refresh()
+	if err := slo.Ready(); err != nil {
+		t.Errorf("generous budget Ready = %v, want nil", err)
+	}
+
+	// Error-rate dimension: half the traffic failing against a 1%
+	// budget burns 50000 milli.
+	telemetry.Reset()
+	for i := 0; i < 50; i++ {
+		w.Observe(int64(time.Millisecond))
+		w.ObserveErr(int64(time.Millisecond))
+	}
+	slo = newSLOTracker(0, 0.01)
+	slo.refresh()
+	_, errBurn := slo.burns()
+	if errBurn != 50000 {
+		t.Errorf("error burn = %d milli, want 50000", errBurn)
+	}
+	if err := slo.Ready(); err == nil || !strings.Contains(err.Error(), "error rate") {
+		t.Errorf("Ready = %v, want an error-rate budget error", err)
+	}
+	telemetry.Reset()
+}

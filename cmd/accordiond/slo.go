@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// sloTracker turns the rolling latency window into burn-rate gauges
+// and a readiness verdict. Targets come from -slo-p99 and
+// -slo-error-rate; a zero target disables that dimension. Burn is
+// expressed in milli-units of the budget — 1000 means the last
+// minute's observation sits exactly at the target, above 1000 the
+// instance is burning error budget and /healthz degrades, so a load
+// balancer stops routing to it before clients notice.
+type sloTracker struct {
+	p99Target time.Duration // 0 = dimension off
+	errTarget float64       // 0 = dimension off
+
+	win     *telemetry.Window
+	p99Burn *telemetry.Gauge
+	errBurn *telemetry.Gauge
+
+	mu       sync.Mutex
+	p99Milli int64
+	errMilli int64
+}
+
+// newSLOTracker builds the tracker over the service latency window.
+func newSLOTracker(p99 time.Duration, errRate float64) *sloTracker {
+	return &sloTracker{
+		p99Target: p99,
+		errTarget: errRate,
+		win:       telemetry.GetWindow("service.latency_ns"),
+		p99Burn:   telemetry.GetGauge("service.slo.p99_burn_milli"),
+		errBurn:   telemetry.GetGauge("service.slo.error_burn_milli"),
+	}
+}
+
+// enabled reports whether any SLO dimension is configured.
+func (t *sloTracker) enabled() bool { return t.p99Target > 0 || t.errTarget > 0 }
+
+// refresh recomputes both burn rates from the last minute of traffic
+// and publishes them as gauges. A quiet window burns nothing.
+func (t *sloTracker) refresh() {
+	st := t.win.Stats(time.Minute)
+	var p99Milli, errMilli int64
+	if st.Count > 0 {
+		if t.p99Target > 0 {
+			p99Milli = 1000 * st.P99 / int64(t.p99Target)
+		}
+		if t.errTarget > 0 {
+			errMilli = int64(1000 * st.ErrorRate / t.errTarget)
+		}
+	}
+	t.p99Burn.Set(p99Milli)
+	t.errBurn.Set(errMilli)
+	t.mu.Lock()
+	t.p99Milli, t.errMilli = p99Milli, errMilli
+	t.mu.Unlock()
+}
+
+// run refreshes the burn gauges on a ticker until ctx ends.
+func (t *sloTracker) run(ctx context.Context, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			t.refresh()
+		}
+	}
+}
+
+// burns returns the last computed burn rates (milli-units of budget).
+func (t *sloTracker) burns() (p99Milli, errMilli int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.p99Milli, t.errMilli
+}
+
+// Ready is the service.Config.ReadyCheck hook: a burn above 1000 milli
+// (observation past the target) degrades readiness with the reason.
+func (t *sloTracker) Ready() error {
+	p99Milli, errMilli := t.burns()
+	if t.p99Target > 0 && p99Milli > 1000 {
+		return fmt.Errorf("slo: rolling p99 at %d milli of the %s budget", p99Milli, t.p99Target)
+	}
+	if t.errTarget > 0 && errMilli > 1000 {
+		return fmt.Errorf("slo: rolling error rate at %d milli of the %g budget", errMilli, t.errTarget)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"html/template"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// statuszTmpl renders the operator dashboard: pure stdlib HTML, no
+// scripts or external assets, so it works from curl --include or any
+// browser pointed at the daemon.
+var statuszTmpl = template.Must(template.New("statusz").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>accordiond statusz</title>
+<style>
+body { font-family: monospace; margin: 2em; }
+table { border-collapse: collapse; margin: 0.5em 0 1.5em; }
+th, td { border: 1px solid #999; padding: 0.25em 0.75em; text-align: right; }
+th { background: #eee; }
+td.l, th.l { text-align: left; }
+.bad { color: #b00; font-weight: bold; }
+.ok { color: #070; }
+</style>
+</head>
+<body>
+<h1>accordiond</h1>
+<p>state:
+{{- if .Summary.Draining}} <span class="bad">draining</span>
+{{- else if .SLOBreached}} <span class="bad">degraded ({{.SLOReason}})</span>
+{{- else}} <span class="ok">serving</span>{{end}}</p>
+
+<h2>queue</h2>
+<table>
+<tr><th class="l">queue</th><th>inflight</th><th>workers</th><th>retry-after</th></tr>
+<tr><td class="l">{{.Summary.QueueLen}}/{{.Summary.QueueCap}}</td>
+<td>{{.Summary.Inflight}}</td><td>{{.Summary.Workers}}</td><td>{{.Summary.RetrySecs}}s</td></tr>
+</table>
+
+<h2>rolling latency (enqueue to finish)</h2>
+<table>
+<tr><th class="l">horizon</th><th>n</th><th>req/s</th><th>err rate</th><th>p50</th><th>p95</th><th>p99</th></tr>
+{{range .Horizons}}<tr><td class="l">{{.Label}}</td><td>{{.Count}}</td><td>{{printf "%.2f" .RatePerSec}}</td>
+<td>{{printf "%.3f" .ErrorRate}}</td><td>{{.P50}}</td><td>{{.P95}}</td><td>{{.P99}}</td></tr>
+{{end}}</table>
+
+<h2>slo</h2>
+{{if .SLOEnabled}}<table>
+<tr><th class="l">dimension</th><th>target</th><th>burn (milli)</th></tr>
+{{if .P99Target}}<tr><td class="l">p99 latency</td><td>{{.P99Target}}</td>
+<td{{if gt .P99Burn 1000}} class="bad"{{end}}>{{.P99Burn}}</td></tr>{{end}}
+{{if .ErrTarget}}<tr><td class="l">error rate</td><td>{{printf "%g" .ErrTarget}}</td>
+<td{{if gt .ErrBurn 1000}} class="bad"{{end}}>{{.ErrBurn}}</td></tr>{{end}}
+</table>{{else}}<p>no SLO configured (-slo-p99, -slo-error-rate)</p>{{end}}
+
+<h2>recent jobs</h2>
+<table>
+<tr><th class="l">job</th><th class="l">kind</th><th class="l">state</th><th>queued ms</th><th>run ms</th><th class="l">error</th></tr>
+{{range .Summary.Recent}}<tr><td class="l">{{.ID}}</td><td class="l">{{.Kind}}</td>
+<td class="l">{{.State}}</td><td>{{.QueuedMs}}</td><td>{{.RunMs}}</td><td class="l">{{.Error}}</td></tr>
+{{end}}</table>
+
+<p>live: <a href="/watch">/watch</a> (SSE) ·
+<a href="/metricsz">/metricsz</a> ·
+<a href="/telemetryz">/telemetryz</a> ·
+<a href="/eventsz">/eventsz</a> ·
+<a href="/healthz">/healthz</a></p>
+</body>
+</html>
+`))
+
+// statuszData is the template input; one struct per render so the
+// handler holds no locks while writing.
+type statuszData struct {
+	Summary     service.Summary
+	Horizons    []horizonRow
+	SLOEnabled  bool
+	SLOBreached bool
+	SLOReason   string
+	P99Target   time.Duration
+	ErrTarget   float64
+	P99Burn     int64
+	ErrBurn     int64
+}
+
+// horizonRow is one rolling-window readout with latencies in
+// milliseconds for the table.
+type horizonRow struct {
+	Label      string
+	Count      int64
+	RatePerSec float64
+	ErrorRate  float64
+	P50        time.Duration
+	P95        time.Duration
+	P99        time.Duration
+}
+
+// statuszHandler serves the HTML dashboard from the server's Summary,
+// the rolling latency window, and the SLO tracker.
+func statuszHandler(srv *service.Server, slo *sloTracker) http.Handler {
+	win := telemetry.GetWindow("service.latency_ns")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		data := statuszData{
+			Summary:    srv.Summary(20),
+			SLOEnabled: slo.enabled(),
+			P99Target:  slo.p99Target,
+			ErrTarget:  slo.errTarget,
+		}
+		for _, h := range []struct {
+			label string
+			d     time.Duration
+		}{{"1m", time.Minute}, {"5m", 5 * time.Minute}} {
+			st := win.Stats(h.d)
+			data.Horizons = append(data.Horizons, horizonRow{
+				Label:      h.label,
+				Count:      st.Count,
+				RatePerSec: st.RatePerSec,
+				ErrorRate:  st.ErrorRate,
+				P50:        time.Duration(st.P50).Round(time.Millisecond),
+				P95:        time.Duration(st.P95).Round(time.Millisecond),
+				P99:        time.Duration(st.P99).Round(time.Millisecond),
+			})
+		}
+		data.P99Burn, data.ErrBurn = slo.burns()
+		if err := slo.Ready(); err != nil {
+			data.SLOBreached = true
+			data.SLOReason = err.Error()
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-cache")
+		if err := statuszTmpl.Execute(w, data); err != nil {
+			// Headers are gone; all we can do is cut the response short.
+			return
+		}
+	})
+}

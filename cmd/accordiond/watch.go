@@ -1,0 +1,89 @@
+package main
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry/events"
+)
+
+// watchReplay bounds how much ring history a new /watch client gets
+// before the live stream starts.
+const watchReplay = 32
+
+// watchKeepalive is the SSE comment interval that keeps idle
+// connections from being reaped by proxies.
+const watchKeepalive = 15 * time.Second
+
+// watchHandler streams the domain event log over Server-Sent Events:
+// a bounded replay of the ring's tail, then every event as it is
+// recorded — job lifecycle transitions, access-log lines, simulation
+// events — one NDJSON object per SSE data frame. `curl -N /watch` is
+// the zero-dependency way to watch a run converge live.
+func watchHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "watch: streaming unsupported", http.StatusNotImplemented)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+
+		// Subscribe before reading the ring tail so no event falls in
+		// the gap; events already replayed are deduplicated by Seq.
+		live, cancel := events.Subscribe(256)
+		defer cancel()
+
+		var buf []byte
+		send := func(e events.Event) bool {
+			buf = append(buf[:0], "data: "...)
+			buf = events.AppendNDJSON(buf, e)
+			buf = append(buf, '\n', '\n')
+			if _, err := w.Write(buf); err != nil {
+				return false
+			}
+			flusher.Flush()
+			return true
+		}
+
+		tail := events.Collect()
+		if len(tail) > watchReplay {
+			tail = tail[len(tail)-watchReplay:]
+		}
+		var lastSeq uint64
+		seen := false
+		for _, e := range tail {
+			if !send(e) {
+				return
+			}
+			lastSeq, seen = e.Seq, true
+		}
+
+		keepalive := time.NewTicker(watchKeepalive)
+		defer keepalive.Stop()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-keepalive.C:
+				if _, err := w.Write([]byte(": keepalive\n\n")); err != nil {
+					return
+				}
+				flusher.Flush()
+			case e, ok := <-live:
+				if !ok {
+					return
+				}
+				if seen && e.Seq <= lastSeq {
+					continue // already replayed from the ring
+				}
+				if !send(e) {
+					return
+				}
+				lastSeq, seen = e.Seq, true
+			}
+		}
+	})
+}

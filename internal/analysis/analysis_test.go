@@ -162,6 +162,19 @@ func TestTelemetryNamesGolden(t *testing.T) {
 	runGolden(t, cfg, "./"+tdata+"/telemetrynames")
 }
 
+// TestWindowNamesGolden pins that the rolling-window constructors
+// (GetWindow / GetWindowWithUnit) are registration points too: an
+// unregistered rolling-metric name fires the same catalog diagnostic
+// as the scalar constructors.
+func TestWindowNamesGolden(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Catalog = &Catalog{
+		Metrics:        set("service.latency_ns"),
+		MetricPrefixes: []string{"cache."},
+	}
+	runGolden(t, cfg, "./"+tdata+"/windownames")
+}
+
 func TestSeedHygieneGolden(t *testing.T) {
 	runGolden(t, testConfig(t), "./"+tdata+"/seedhygiene")
 }

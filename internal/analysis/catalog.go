@@ -50,6 +50,10 @@ func DefaultCatalog() *Catalog {
 			"service.coalesced",
 			"service.inflight",
 			"service.latency_ns",
+			"service.run_ns",
+			// accordiond SLO burn gauges
+			"service.slo.p99_burn_milli",
+			"service.slo.error_burn_milli",
 		),
 		MetricPrefixes: []string{
 			"cache.",           // cache.<Name>.{hits,misses,evictions}
@@ -64,6 +68,9 @@ func DefaultCatalog() *Catalog {
 			"drop.triggered",
 			"field.sampled",
 			"atlas.built",
+			// accordiond ops surface
+			"service.request",
+			"job.state",
 		),
 	}
 }

@@ -33,7 +33,10 @@ var nameRe = regexp.MustCompile(`^[a-z0-9_.]+$`)
 
 // metricFuncs and eventFuncs name the registration points, by
 // module-relative defining package.
-var metricFuncs = map[string]bool{"GetCounter": true, "GetGauge": true, "GetHistogram": true, "StartSpan": true}
+var metricFuncs = map[string]bool{
+	"GetCounter": true, "GetGauge": true, "GetHistogram": true,
+	"GetWindow": true, "GetWindowWithUnit": true, "StartSpan": true,
+}
 
 const (
 	telemetryPkgRel = "internal/telemetry"

@@ -1,0 +1,43 @@
+// Package windownames seeds catalog violations against the rolling
+// window registration points. The test's catalog registers exactly:
+// metric "service.latency_ns", metric prefix "cache.".
+package windownames
+
+import "repro/internal/telemetry"
+
+// Registered uses a cataloged name through both constructors; never
+// flagged.
+func Registered() {
+	telemetry.GetWindow("service.latency_ns").Observe(1)
+	telemetry.GetWindowWithUnit("service.latency_ns", "ns").Observe(1)
+}
+
+// Unregistered rolls a window under a name the catalog has never
+// heard of — the exact drift the analyzer exists to catch, since a
+// phantom window name would silently ship a /metricsz family nothing
+// gates on.
+func Unregistered() {
+	telemetry.GetWindow("phantom.rolling_ns").Observe(1) // want `metric name "phantom.rolling_ns" is not registered`
+}
+
+// UnregisteredWithUnit proves the unit-carrying constructor is
+// audited too.
+func UnregisteredWithUnit() {
+	telemetry.GetWindowWithUnit("ghost.window_ns", "ns").Observe(1) // want `metric name "ghost.window_ns" is not registered`
+}
+
+// BadCharset uses a name outside the [a-z0-9_.] alphabet.
+func BadCharset() {
+	telemetry.GetWindow("Rolling-P99").Observe(1) // want `must match`
+}
+
+// Dynamic passes a parameter through: unauditable.
+func Dynamic(name string) {
+	telemetry.GetWindow(name).Observe(1) // want `must be a string literal`
+}
+
+// PrefixRegistered builds a window name in a registered dynamic
+// family.
+func PrefixRegistered(layer string) {
+	telemetry.GetWindow("cache." + layer + ".wait_ns").Observe(1)
+}

@@ -61,7 +61,7 @@ func MeasureFrontsCtx(ctx context.Context, b rms.Benchmark, seed int64) (*Qualit
 	ctx = trace.NewContext(ctx, fsp)
 
 	rsp := trace.Child(fsp, "core.front.reference")
-	ref, err := rms.Reference(b, seed)
+	ref, err := rms.ReferenceCtx(ctx, b, seed)
 	rsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: reference run: %w", err)

@@ -41,7 +41,7 @@ func RunAttribution(ctx context.Context, cfg Config) (AttributionResult, error) 
 	// Like RunMany: a concurrent ResetCaches waits for this run.
 	defer holdCaches()()
 
-	ch, err := RepresentativeChip(cfg)
+	ch, err := RepresentativeChip(ctx, cfg)
 	if err != nil {
 		return AttributionResult{}, err
 	}

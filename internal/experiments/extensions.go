@@ -22,7 +22,7 @@ import (
 // most from Accordion. This experiment runs the proof-of-work kernel
 // through the full Accordion pipeline next to canneal.
 func Weakscale(ctx context.Context, cfg Config) ([]*Table, error) {
-	rep, err := RepresentativeChip(cfg)
+	rep, err := RepresentativeChip(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +86,7 @@ func Weakscale(ctx context.Context, cfg Config) ([]*Table, error) {
 // stays fixed (the paper's whole-execution allocation) or is re-solved
 // whenever the engaged set misses the required compute rate.
 func Dynamic(ctx context.Context, cfg Config) ([]*Table, error) {
-	rep, err := RepresentativeChip(cfg)
+	rep, err := RepresentativeChip(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +200,7 @@ func Population(ctx context.Context, cfg Config) ([]*Table, error) {
 // iso-execution-time efficiency as the designated operating voltage
 // rises from the chip's VddNTV toward super-threshold.
 func VddSweep(ctx context.Context, cfg Config) ([]*Table, error) {
-	rep, err := RepresentativeChip(cfg)
+	rep, err := RepresentativeChip(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +296,7 @@ func CorruptionWide(ctx context.Context, cfg Config) ([]*Table, error) {
 		Columns: []string{"benchmark", "drop 1/4", "flip 1/4", "stuck-all-0 1/4", "verdict"},
 	}
 	for _, b := range all {
-		ref, err := rms.Reference(b, cfg.Seed)
+		ref, err := rms.ReferenceCtx(ctx, b, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -357,7 +357,7 @@ func CorruptionWide(ctx context.Context, cfg Config) ([]*Table, error) {
 // count sweeps; per-mailbox housekeeping work makes undersized CC
 // provisioning stretch the polling loop and the makespan.
 func CCRatio(ctx context.Context, cfg Config) ([]*Table, error) {
-	rep, err := RepresentativeChip(cfg)
+	rep, err := RepresentativeChip(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

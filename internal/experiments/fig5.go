@@ -50,7 +50,7 @@ func Fig5a(ctx context.Context, cfg Config) ([]*Table, error) {
 // reports, per cluster, the frequencies at the landmark error rates;
 // together they trace the 36 curves of the figure.
 func Fig5b(ctx context.Context, cfg Config) ([]*Table, error) {
-	rep, err := RepresentativeChip(cfg)
+	rep, err := RepresentativeChip(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -13,7 +13,7 @@ import (
 // Speculative iso-execution-time fronts with the four normalized
 // y-axes (MIPS/W, power, problem size, quality) against NNTV/NSTV.
 func paretoTable(ctx context.Context, id string, b rms.Benchmark, cfg Config) (*Table, error) {
-	rep, err := RepresentativeChip(cfg)
+	rep, err := RepresentativeChip(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +91,7 @@ func Fig7(ctx context.Context, cfg Config) ([]*Table, error) {
 // efficiency gain at iso-execution time per benchmark (Section 9's
 // 1.61-1.87x) and the speculative frequency gain (Section 6.3's 8-41%).
 func Headline(ctx context.Context, cfg Config) ([]*Table, error) {
-	rep, err := RepresentativeChip(cfg)
+	rep, err := RepresentativeChip(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

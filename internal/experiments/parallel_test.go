@@ -109,11 +109,11 @@ func TestRunManyCancellationMidSweep(t *testing.T) {
 // chips.
 func TestRepresentativeChipShared(t *testing.T) {
 	ResetCaches()
-	a, err := RepresentativeChip(DefaultConfig())
+	a, err := RepresentativeChip(context.Background(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RepresentativeChip(DefaultConfig())
+	b, err := RepresentativeChip(context.Background(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestRepresentativeChipShared(t *testing.T) {
 	}
 	other := DefaultConfig()
 	other.ChipSeed = 99
-	c, err := RepresentativeChip(other)
+	c, err := RepresentativeChip(context.Background(), other)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,7 +18,7 @@ import (
 // system parameters.
 func Table2(ctx context.Context, cfg Config) ([]*Table, error) {
 	c := chip.DefaultConfig()
-	rep, err := RepresentativeChip(cfg)
+	rep, err := RepresentativeChip(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +60,7 @@ func Table3(ctx context.Context, cfg Config) ([]*Table, error) {
 			"PS dep (paper)", "PS exponent", "Q dep (paper)", "Q slope r2"},
 	}
 	for _, b := range all {
-		psExp, qR2, err := measureDependence(b, cfg.Seed)
+		psExp, qR2, err := measureDependence(ctx, b, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -74,9 +74,9 @@ func Table3(ctx context.Context, cfg Config) ([]*Table, error) {
 }
 
 // measureDependence fits problem size ~ input^p and quality ~ input.
-func measureDependence(b rms.Benchmark, seed int64) (psExp, qLinearR2 float64, err error) {
+func measureDependence(ctx context.Context, b rms.Benchmark, seed int64) (psExp, qLinearR2 float64, err error) {
 	sweep := b.Sweep()
-	ref, err := rms.Reference(b, seed)
+	ref, err := rms.ReferenceCtx(ctx, b, seed)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -107,7 +107,7 @@ func Corruption(ctx context.Context, cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref, err := rms.Reference(b, cfg.Seed)
+	ref, err := rms.ReferenceCtx(ctx, b, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +161,7 @@ func Corruption(ctx context.Context, cfg Config) ([]*Table, error) {
 // Baselines compares Accordion's substrate against the related-work
 // mitigation schemes of Section 8 at a fixed engaged-core count.
 func Baselines(ctx context.Context, cfg Config) ([]*Table, error) {
-	rep, err := RepresentativeChip(cfg)
+	rep, err := RepresentativeChip(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -36,10 +36,10 @@ func TestRepresentativeChipCacheTelemetry(t *testing.T) {
 	ResetCaches()
 	telemetry.Reset() // discard the evictions ResetCaches just recorded
 	cfg := DefaultConfig()
-	if _, err := RepresentativeChip(cfg); err != nil {
+	if _, err := RepresentativeChip(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RepresentativeChip(cfg); err != nil {
+	if _, err := RepresentativeChip(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	hits := telemetry.GetCounter("cache.experiments.RepresentativeChip.hits")

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/telemetry"
@@ -56,6 +57,20 @@ func (c *Cache[K, V]) initMetrics() {
 // re-raised (as a *PanicError) on every waiting caller and the entry is
 // forgotten.
 func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	return c.do(nil, key, fn)
+}
+
+// DoCtx is Do with per-scope telemetry attribution: when ctx carries a
+// telemetry.Scope (the accordiond server installs one per job), the
+// cache's hit/miss counters are additionally tallied into that scope,
+// so a job's provenance manifest can report the cache traffic that job
+// itself generated rather than the process-wide totals. The context is
+// used only for attribution — cancellation still belongs to fn.
+func (c *Cache[K, V]) DoCtx(ctx context.Context, key K, fn func() (V, error)) (V, error) {
+	return c.do(telemetry.ScopeFrom(ctx), key, fn)
+}
+
+func (c *Cache[K, V]) do(sc *telemetry.Scope, key K, fn func() (V, error)) (V, error) {
 	c.mu.Lock()
 	c.initMetrics()
 	if c.entries == nil {
@@ -63,7 +78,7 @@ func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	}
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
-		c.hits.Inc()
+		c.hits.IncScoped(sc)
 		<-e.done
 		if e.caught != nil {
 			panic(e.caught)
@@ -73,7 +88,7 @@ func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	e := &cacheEntry[V]{done: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
-	c.misses.Inc()
+	c.misses.IncScoped(sc)
 
 	func() {
 		defer func() {

@@ -19,6 +19,7 @@
 package rms
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -130,8 +131,17 @@ var refCache = parallel.Cache[refKey, Result]{Name: "rms.Reference"}
 // in-flight run. The returned Result owns its Output slice; callers
 // may mutate it freely.
 func Reference(b Benchmark, seed int64) (Result, error) {
+	return ReferenceCtx(context.Background(), b, seed)
+}
+
+// ReferenceCtx is Reference under per-scope telemetry attribution: the
+// memo cache's hit/miss counters tally into the telemetry scope ctx
+// carries (if any), so a service job's manifest reports the baseline
+// runs that job itself triggered. The context carries attribution
+// only, never cancellation of the baseline run.
+func ReferenceCtx(ctx context.Context, b Benchmark, seed int64) (Result, error) {
 	key := refKey{b.Name(), b.HyperInput(), b.DefaultThreads(), seed}
-	res, err := refCache.Do(key, func() (Result, error) {
+	res, err := refCache.DoCtx(ctx, key, func() (Result, error) {
 		return b.Run(b.HyperInput(), b.DefaultThreads(), fault.Plan{}, seed)
 	})
 	if err != nil {

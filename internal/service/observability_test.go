@@ -1,0 +1,289 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/events"
+)
+
+// TestRetryAfterDerived pins the derived-backoff bounds: a warm
+// service-time window turns Retry-After into drain-rate × queue-depth,
+// clamped to [Config.RetryAfter, 60s]; a cold window falls back to the
+// configured constant.
+func TestRetryAfterDerived(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	telemetry.Reset()
+	srv := New(Config{QueueDepth: 4, Workers: 2, RetryAfter: 3 * time.Second})
+	w := telemetry.GetWindow("service.run_ns")
+
+	// Cold window: fall back to the configured constant.
+	if got := srv.retryAfterSecs(); got != 3 {
+		t.Errorf("cold-window Retry-After = %d, want the configured 3", got)
+	}
+
+	// Warm window, empty queue: mean 10s over 2 workers → 5s.
+	for i := 0; i < 4; i++ {
+		w.Observe(int64(10 * time.Second))
+	}
+	if got := srv.retryAfterSecs(); got != 5 {
+		t.Errorf("warm Retry-After = %d, want ceil(10s*1/2) = 5", got)
+	}
+
+	// Upper clamp: a 500s mean must not advertise beyond a minute.
+	telemetry.Reset()
+	w.Observe(int64(500 * time.Second))
+	if got := srv.retryAfterSecs(); got != 60 {
+		t.Errorf("clamped Retry-After = %d, want 60", got)
+	}
+
+	// Lower clamp: sub-second service time still honors the floor.
+	telemetry.Reset()
+	w.Observe(int64(time.Millisecond))
+	if got := srv.retryAfterSecs(); got != 3 {
+		t.Errorf("floored Retry-After = %d, want the configured 3", got)
+	}
+	telemetry.Reset()
+}
+
+// TestRetryAfterDerivedHTTP checks the derived value reaches the 429
+// header: with one 10s run on record, one worker, and one queued job,
+// the overflow response advertises ceil(10s × 2 / 1) = 20.
+func TestRetryAfterDerivedHTTP(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	telemetry.Reset()
+	// No Worker loops: the first job occupies the single queue slot.
+	srv := New(Config{QueueDepth: 1, Workers: 1, RetryAfter: 3 * time.Second})
+	ts := httptest.NewServer(srv.Mux())
+	defer ts.Close()
+	telemetry.GetWindow("service.run_ns").Observe(int64(10 * time.Second))
+
+	resp, _ := postJSON(t, ts.URL+"/jobs", reqBody(301))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d, want 202", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/jobs", reqBody(302))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "20" {
+		t.Errorf("derived Retry-After = %q, want %q", got, "20")
+	}
+	telemetry.Reset()
+}
+
+// TestScopedManifestSum is the acceptance pin for per-job attribution:
+// two concurrent jobs with different chip seeds produce manifests
+// whose per-job cache hit+miss counts sum exactly to the global delta
+// for the fully ctx-threaded caches. Run with -race: the scopes are
+// written from concurrent workers.
+func TestScopedManifestSum(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	experiments.ResetCaches()
+	srv, _ := startServer(t, Config{QueueDepth: 4, Workers: 2})
+
+	prev := telemetry.Capture()
+	// table2 and fig5b both want the representative chip, so each job
+	// records one miss (its own seed's construction) and one hit.
+	req := func(chipSeed int64) Request {
+		return Request{Experiments: []string{"table2", "fig5b"}, Chips: 2, Seed: 41, ChipSeed: chipSeed}
+	}
+	j1, _, err := srv.Admit(req(7001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _, err := srv.Admit(req(7002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j1.Done()
+	<-j2.Done()
+	delta := telemetry.Capture().Sub(prev)
+
+	counterDelta := func(name string) int64 {
+		for _, c := range delta.Counters {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+		return 0
+	}
+	for _, name := range []string{"experiments.RepresentativeChip", "experiments.MeasuredFronts"} {
+		var jobSum int64
+		for _, j := range []*Job{j1, j2} {
+			st := srv.statusOf(j)
+			if st.State != StateDone {
+				t.Fatalf("job %s state = %s (%s), want done", j.ID(), st.State, st.Error)
+			}
+			for _, c := range st.Manifest.Caches {
+				if c.Name == name {
+					jobSum += c.Hits + c.Misses
+				}
+			}
+		}
+		global := counterDelta("cache."+name+".hits") + counterDelta("cache."+name+".misses")
+		if jobSum != global {
+			t.Errorf("%s: per-job manifests sum to %d, global delta is %d", name, jobSum, global)
+		}
+	}
+	// The chip cache specifically: distinct seeds → one miss each, and
+	// the second experiment in each job hits its own seed's entry.
+	if got := counterDelta("cache.experiments.RepresentativeChip.misses"); got != 2 {
+		t.Errorf("global chip misses = %d, want 2 (one per distinct seed)", got)
+	}
+	if got := counterDelta("cache.experiments.RepresentativeChip.hits"); got == 0 {
+		t.Error("global chip hits = 0, want each job's second experiment to hit")
+	}
+	telemetry.Reset()
+}
+
+// TestScopedManifestAfterReset pins the edge satellite: a cache reset
+// racing a job must not corrupt that job's own attribution — the
+// manifest still reports exactly the hits+misses the job's scope saw.
+func TestScopedManifestAfterReset(t *testing.T) {
+	defer telemetry.SetEnabled(true)()
+	experiments.ResetCaches()
+	srv, _ := startServer(t, Config{QueueDepth: 4, Workers: 2})
+
+	j, _, err := srv.Admit(Request{Experiments: []string{"table2"}, Chips: 2, Seed: 43, ChipSeed: 7003})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ResetCaches blocks until the in-flight run finishes (the cache
+	// gate), so this exercises reset-vs-manifest ordering, then the
+	// next identical job re-misses with a fresh scope.
+	<-j.Done()
+	experiments.ResetCaches()
+	j2, _, err := srv.Admit(Request{Experiments: []string{"table2"}, Chips: 2, Seed: 44, ChipSeed: 7003})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j2.Done()
+	st := srv.statusOf(j2)
+	if st.State != StateDone {
+		t.Fatalf("job after reset: state %s (%s)", st.State, st.Error)
+	}
+	var chip *int64
+	for _, c := range st.Manifest.Caches {
+		if c.Name == "experiments.RepresentativeChip" {
+			v := c.Misses
+			chip = &v
+		}
+	}
+	if chip == nil || *chip != 1 {
+		t.Errorf("post-reset job's chip misses = %v, want exactly its own re-miss", chip)
+	}
+	telemetry.Reset()
+}
+
+// TestAccessLogEvents checks the NDJSON access log: a /run round trip
+// emits a service.request event carrying the job id, coalesced flag,
+// status and byte count, and the job's lifecycle emits the
+// queued→running→done transitions.
+func TestAccessLogEvents(t *testing.T) {
+	defer events.SetEnabled(true)()
+	events.Reset()
+	_, ts := startServer(t, Config{QueueDepth: 4, Workers: 1})
+
+	resp, _ := postJSON(t, ts.URL+"/run", reqBody(21))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /run: status %d", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Job-Id")
+
+	attrs := func(e events.Event) map[string]any {
+		m := map[string]any{}
+		for _, a := range e.Attrs {
+			m[a.Key] = a.Value()
+		}
+		return m
+	}
+	var sawRequest bool
+	var states []string
+	for _, e := range events.Collect() {
+		m := attrs(e)
+		switch e.Kind {
+		case "service.request":
+			if m["job"] == id && m["path"] == "/run" {
+				sawRequest = true
+				if m["status"] != int64(200) {
+					t.Errorf("access-log status = %v, want 200", m["status"])
+				}
+				if m["coalesced"] != int64(0) {
+					t.Errorf("access-log coalesced = %v, want 0", m["coalesced"])
+				}
+				if b, ok := m["bytes"].(int64); !ok || b <= 0 {
+					t.Errorf("access-log bytes = %v, want > 0", m["bytes"])
+				}
+			}
+		case "job.state":
+			if m["job"] == id {
+				states = append(states, m["state"].(string))
+			}
+		}
+	}
+	if !sawRequest {
+		t.Error("no service.request event for the /run round trip")
+	}
+	if want := []string{StateQueued, StateRunning, StateDone}; len(states) != 3 ||
+		states[0] != want[0] || states[1] != want[1] || states[2] != want[2] {
+		t.Errorf("job.state sequence = %v, want %v", states, want)
+	}
+	events.Reset()
+}
+
+// TestHealthHeadersAndReadyCheck pins the ops-surface headers on
+// /healthz and the ReadyCheck gate: a failing check degrades readiness
+// to 503 with the reason, without touching admission.
+func TestHealthHeadersAndReadyCheck(t *testing.T) {
+	var degraded error
+	srv := New(Config{QueueDepth: 1, Workers: 1, ReadyCheck: func() error { return degraded }})
+	ts := httptest.NewServer(srv.Mux())
+	defer ts.Close()
+
+	resp, body := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy /healthz: status %d (body %s)", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Cache-Control"); got != "no-cache" {
+		t.Errorf("/healthz Cache-Control = %q, want no-cache", got)
+	}
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "application/json") {
+		t.Errorf("/healthz Content-Type = %q, want application/json", got)
+	}
+
+	degraded = errSLO{}
+	resp, body = getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz: status %d, want 503", resp.StatusCode)
+	}
+	var doc struct {
+		Status string `json:"status"`
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "degraded" || !strings.Contains(doc.Reason, "p99 over budget") {
+		t.Errorf("degraded doc = %+v, want degraded with the check's reason", doc)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded /healthz advertises no Retry-After")
+	}
+
+	// Degradation must not reject work: admission still succeeds.
+	degraded = errSLO{}
+	if _, _, err := srv.Admit(Request{Experiments: []string{"fig1a"}, Chips: 2, Seed: 51}); err != nil {
+		t.Errorf("Admit while degraded = %v, want accepted", err)
+	}
+}
+
+type errSLO struct{}
+
+func (errSLO) Error() string { return "slo: p99 over budget" }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/provenance"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/events"
 )
 
 // Config parameterizes a Server. The zero value of every field selects
@@ -42,6 +44,12 @@ type Config struct {
 	// provenance manifests. Response bodies never depend on it. The
 	// default is the wall clock; tests inject fakes.
 	Now func() time.Time
+	// ReadyCheck, when set, gates /healthz readiness: a non-nil error
+	// reports the server degraded (HTTP 503 with the reason) without
+	// affecting admission. The daemon wires its SLO tracker here so
+	// load balancers stop routing to an instance burning its error
+	// budget. Nil means always ready.
+	ReadyCheck func() error
 }
 
 const (
@@ -72,6 +80,11 @@ type Job struct {
 	resp     []byte
 	err      error
 	manifest *provenance.Manifest
+	// scope attributes telemetry recorded while this job executes —
+	// most importantly the memo caches' hit/miss counters — to this
+	// job, so its manifest reports its own cache traffic rather than
+	// the process-wide totals.
+	scope *telemetry.Scope
 }
 
 // ID returns the job's identifier (the canonical request hash).
@@ -113,6 +126,9 @@ type Server struct {
 	coalesced *telemetry.Counter
 	inflight  *telemetry.Gauge
 	latency   *telemetry.Histogram
+	runtime   *telemetry.Histogram
+	latWin    *telemetry.Window
+	runWin    *telemetry.Window
 }
 
 // New builds a Server from cfg, applying defaults.
@@ -146,6 +162,9 @@ func New(cfg Config) *Server {
 		coalesced:  telemetry.GetCounter("service.coalesced"),
 		inflight:   telemetry.GetGauge("service.inflight"),
 		latency:    telemetry.GetHistogram("service.latency_ns"),
+		runtime:    telemetry.GetHistogram("service.run_ns"),
+		latWin:     telemetry.GetWindow("service.latency_ns"),
+		runWin:     telemetry.GetWindow("service.run_ns"),
 	}
 }
 
@@ -153,13 +172,13 @@ func New(cfg Config) *Server {
 func (s *Server) Workers() int { return s.cfg.Workers }
 
 // Admit normalizes req and either attaches it to the identical
-// in-flight (or retained) job — request coalescing — or enqueues a new
-// job. It returns ErrQueueFull when the bounded queue has no slot and
-// ErrDraining once Shutdown has begun; validation errors come from
-// Normalize. Admit never blocks.
-func (s *Server) Admit(req Request) (*Job, error) {
+// in-flight (or retained) job — request coalescing, reported by the
+// second return — or enqueues a new job. It returns ErrQueueFull when
+// the bounded queue has no slot and ErrDraining once Shutdown has
+// begun; validation errors come from Normalize. Admit never blocks.
+func (s *Server) Admit(req Request) (*Job, bool, error) {
 	if err := req.Normalize(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	id := req.JobID()
 	s.requests.Inc()
@@ -167,11 +186,11 @@ func (s *Server) Admit(req Request) (*Job, error) {
 	defer s.mu.Unlock()
 	if s.draining {
 		s.rejected.Inc()
-		return nil, ErrDraining
+		return nil, false, ErrDraining
 	}
 	if j, ok := s.jobs[id]; ok {
 		s.coalesced.Inc()
-		return j, nil
+		return j, true, nil
 	}
 	j := &Job{
 		id:       id,
@@ -179,17 +198,20 @@ func (s *Server) Admit(req Request) (*Job, error) {
 		done:     make(chan struct{}),
 		state:    StateQueued,
 		enqueued: s.cfg.Now(),
+		scope:    telemetry.NewScope(),
 	}
 	select {
 	case s.queue <- j:
 	default:
 		s.rejected.Inc()
-		return nil, ErrQueueFull
+		return nil, false, ErrQueueFull
 	}
 	s.jobs[id] = j
 	s.inflightN++
 	s.inflight.Set(s.inflightN)
-	return j, nil
+	events.New("job.state").Str("job", id).Str("state", StateQueued).
+		Int("queue_len", int64(len(s.queue))).Emit()
+	return j, false, nil
 }
 
 // Worker runs jobs until the context is cancelled or the queue is
@@ -211,7 +233,10 @@ func (s *Server) Worker(ctx context.Context) {
 }
 
 // run executes one job and records its outcome, latency, and
-// provenance manifest.
+// provenance manifest. The job's telemetry scope rides the context so
+// the memo caches attribute their hits and misses to this job; the
+// manifest then reports the job's own cache traffic, not the
+// process-wide totals.
 func (s *Server) run(ctx context.Context, j *Job) {
 	s.mu.Lock()
 	if j.state != StateQueued {
@@ -221,8 +246,11 @@ func (s *Server) run(ctx context.Context, j *Job) {
 	}
 	j.state = StateRunning
 	j.started = s.cfg.Now()
+	events.New("job.state").Str("job", j.id).Str("state", StateRunning).
+		Int("queued_ms", j.started.Sub(j.enqueued).Milliseconds()).Emit()
 	s.mu.Unlock()
 
+	ctx = telemetry.NewScopeContext(ctx, j.scope)
 	man := provenance.New("accordiond")
 	resp, results, err := Execute(ctx, j.req)
 	var body []byte
@@ -235,7 +263,7 @@ func (s *Server) run(ctx context.Context, j *Job) {
 	if err == nil {
 		man.AddArtifactBytes("response:"+j.id, body)
 	}
-	addCacheStats(man)
+	addCacheStats(man, j.scope)
 	man.Finish()
 	s.finish(j, body, err, man)
 }
@@ -260,7 +288,25 @@ func (s *Server) finish(j *Job, body []byte, err error, man *provenance.Manifest
 	}
 	s.inflightN--
 	s.inflight.Set(s.inflightN)
-	s.latency.Observe(j.finished.Sub(j.enqueued).Nanoseconds())
+	latNs := j.finished.Sub(j.enqueued).Nanoseconds()
+	s.latency.Observe(latNs)
+	var runNs int64
+	queued := j.finished.Sub(j.enqueued)
+	if !j.started.IsZero() {
+		runNs = j.finished.Sub(j.started).Nanoseconds()
+		queued = j.started.Sub(j.enqueued)
+	}
+	if err != nil {
+		s.latWin.ObserveErr(latNs)
+		s.runWin.ObserveErr(runNs)
+	} else {
+		s.latWin.Observe(latNs)
+		s.runWin.Observe(runNs)
+	}
+	s.runtime.Observe(runNs)
+	events.New("job.state").Str("job", j.id).Str("state", j.state).
+		Int("queued_ms", queued.Milliseconds()).
+		Int("run_ms", runNs/int64(time.Millisecond)).Emit()
 	close(j.done)
 	// Retention: failed jobs are always forgotten (a retry should
 	// re-execute); completed jobs stay addressable until the retention
@@ -341,10 +387,99 @@ func (s *Server) failPending(err error) {
 		j.finished = s.cfg.Now()
 		j.err = err
 		s.inflightN--
+		events.New("job.state").Str("job", id).Str("state", StateFailed).Emit()
 		close(j.done)
 		delete(s.jobs, id)
 	}
 	s.inflight.Set(s.inflightN)
+}
+
+// JobSummary is one row of the dashboard's recent-jobs table.
+type JobSummary struct {
+	ID       string `json:"job_id"`
+	Kind     string `json:"kind"`
+	State    string `json:"state"`
+	QueuedMs int64  `json:"queued_ms"`
+	RunMs    int64  `json:"run_ms"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Summary is the operational snapshot behind /statusz: live queue and
+// worker occupancy, the derived backoff, and the most recent jobs —
+// active ones first (newest admission first), then retained completed
+// ones (newest finish first).
+type Summary struct {
+	QueueLen  int          `json:"queue_len"`
+	QueueCap  int          `json:"queue_cap"`
+	Workers   int          `json:"workers"`
+	Inflight  int64        `json:"inflight"`
+	Draining  bool         `json:"draining"`
+	RetrySecs int64        `json:"retry_secs"`
+	Recent    []JobSummary `json:"recent,omitempty"`
+}
+
+// Summary snapshots the server's operational state; maxRecent bounds
+// the job list (non-positive means none).
+func (s *Server) Summary(maxRecent int) Summary {
+	sum := Summary{RetrySecs: s.retryAfterSecs()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum.QueueLen = len(s.queue)
+	sum.QueueCap = cap(s.queue)
+	sum.Workers = s.cfg.Workers
+	sum.Inflight = s.inflightN
+	sum.Draining = s.draining
+	if maxRecent <= 0 {
+		return sum
+	}
+	var active []*Job
+	for _, j := range s.jobs {
+		if j.state == StateQueued || j.state == StateRunning {
+			active = append(active, j)
+		}
+	}
+	sort.Slice(active, func(a, b int) bool {
+		if !active[a].enqueued.Equal(active[b].enqueued) {
+			return active[a].enqueued.After(active[b].enqueued)
+		}
+		return active[a].id < active[b].id // stable order for ties
+	})
+	for _, j := range active {
+		if len(sum.Recent) >= maxRecent {
+			return sum
+		}
+		sum.Recent = append(sum.Recent, s.summaryOfLocked(j))
+	}
+	for i := len(s.retained) - 1; i >= 0 && len(sum.Recent) < maxRecent; i-- {
+		if j, ok := s.jobs[s.retained[i]]; ok {
+			sum.Recent = append(sum.Recent, s.summaryOfLocked(j))
+		}
+	}
+	return sum
+}
+
+// summaryOfLocked condenses one job for the dashboard; the caller
+// holds s.mu.
+func (s *Server) summaryOfLocked(j *Job) JobSummary {
+	js := JobSummary{ID: j.id, Kind: j.req.Kind, State: j.state}
+	switch j.state {
+	case StateQueued:
+		js.QueuedMs = s.cfg.Now().Sub(j.enqueued).Milliseconds()
+	case StateRunning:
+		js.QueuedMs = j.started.Sub(j.enqueued).Milliseconds()
+		js.RunMs = s.cfg.Now().Sub(j.started).Milliseconds()
+	default:
+		if !j.started.IsZero() {
+			js.QueuedMs = j.started.Sub(j.enqueued).Milliseconds()
+			js.RunMs = j.finished.Sub(j.started).Milliseconds()
+		} else {
+			js.QueuedMs = j.finished.Sub(j.enqueued).Milliseconds()
+		}
+	}
+	if j.err != nil {
+		js.Error = j.err.Error()
+	}
+	return js
 }
 
 // Mux returns the service's HTTP surface:
@@ -370,36 +505,40 @@ func (s *Server) Mux() *http.ServeMux {
 const maxRequestBytes = 1 << 20
 
 // admitHTTP decodes, normalizes and admits the request body, writing
-// the mapped error response (400/429/503) on failure.
-func (s *Server) admitHTTP(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+// the mapped error response (400/429/503) on failure. The second
+// return reports coalescing for the access log.
+func (s *Server) admitHTTP(w http.ResponseWriter, r *http.Request) (*Job, bool, bool) {
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: decoding request: %w", err))
-		return nil, false
+		n := writeError(w, http.StatusBadRequest, fmt.Errorf("service: decoding request: %w", err))
+		s.logRequest(r, nil, false, http.StatusBadRequest, n)
+		return nil, false, false
 	}
-	j, err := s.Admit(req)
+	j, coalesced, err := s.Admit(req)
+	var status int
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.setRetryAfter(w)
-		writeError(w, http.StatusTooManyRequests, err)
-		return nil, false
+		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		s.setRetryAfter(w)
-		writeError(w, http.StatusServiceUnavailable, err)
-		return nil, false
+		status = http.StatusServiceUnavailable
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
-		return nil, false
+		status = http.StatusBadRequest
+	default:
+		return j, coalesced, true
 	}
-	return j, true
+	n := writeError(w, status, err)
+	s.logRequest(r, nil, false, status, n)
+	return nil, false, false
 }
 
 // handleRun is the synchronous path: admit, wait, answer with the
 // deterministic response bytes.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.admitHTTP(w, r)
+	j, coalesced, ok := s.admitHTTP(w, r)
 	if !ok {
 		return
 	}
@@ -409,13 +548,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	case <-j.Done():
 	}
-	s.writeResult(w, j)
+	status, n := s.writeResult(w, j)
+	s.logRequest(r, j, coalesced, status, n)
 }
 
 // handleSubmit is the asynchronous path: admit and answer immediately
 // with the job status; poll /jobs/{id} for completion.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.admitHTTP(w, r)
+	j, coalesced, ok := s.admitHTTP(w, r)
 	if !ok {
 		return
 	}
@@ -423,7 +563,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if st := s.statusOf(j); st.State == StateDone || st.State == StateFailed {
 		status = http.StatusOK
 	}
-	writeJSON(w, status, s.statusOf(j))
+	n := writeJSON(w, status, s.statusOf(j))
+	s.logRequest(r, j, coalesced, status, n)
 }
 
 // JobStatus is the /jobs/{id} document.
@@ -481,7 +622,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Lookup(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("service: unknown or evicted job"))
+		n := writeError(w, http.StatusNotFound, errors.New("service: unknown or evicted job"))
+		s.logRequest(r, nil, false, http.StatusNotFound, n)
 		return
 	}
 	s.mu.Lock()
@@ -489,33 +631,38 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if state == StateQueued || state == StateRunning {
 		s.setRetryAfter(w)
-		writeError(w, http.StatusAccepted, errors.New("service: job still "+state))
+		n := writeError(w, http.StatusAccepted, errors.New("service: job still "+state))
+		s.logRequest(r, j, false, http.StatusAccepted, n)
 		return
 	}
-	s.writeResult(w, j)
+	status, n := s.writeResult(w, j)
+	s.logRequest(r, j, false, status, n)
 }
 
 // writeResult answers with a terminal job's outcome: the deterministic
-// response bytes, or the execution error.
-func (s *Server) writeResult(w http.ResponseWriter, j *Job) {
+// response bytes, or the execution error. It returns the HTTP status
+// and body size for the access log.
+func (s *Server) writeResult(w http.ResponseWriter, j *Job) (int, int) {
 	s.mu.Lock()
 	body, err := j.resp, j.err
 	s.mu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return http.StatusInternalServerError, writeError(w, http.StatusInternalServerError, err)
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.Header().Set("X-Job-Id", j.id)
-	_, _ = w.Write(body)
+	n, _ := w.Write(body)
+	return http.StatusOK, n
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-cache")
 	s.mu.Lock()
 	doc := struct {
 		Status   string `json:"status"`
 		Inflight int64  `json:"inflight"`
 		Schema   int    `json:"schema"`
+		Reason   string `json:"reason,omitempty"`
 	}{Status: "ok", Inflight: s.inflightN, Schema: SchemaVersion}
 	draining := s.draining
 	s.mu.Unlock()
@@ -525,49 +672,109 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, doc)
 		return
 	}
+	if s.cfg.ReadyCheck != nil {
+		if err := s.cfg.ReadyCheck(); err != nil {
+			doc.Status = "degraded"
+			doc.Reason = err.Error()
+			s.setRetryAfter(w)
+			writeJSON(w, http.StatusServiceUnavailable, doc)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, doc)
 }
 
-// setRetryAfter advertises the configured client backoff, at least 1s
-// (Retry-After has whole-second resolution).
-func (s *Server) setRetryAfter(w http.ResponseWriter) {
-	secs := int64(s.cfg.RetryAfter / time.Second)
-	if secs < 1 {
-		secs = 1
+// logRequest emits one "service.request" access-log event: the NDJSON
+// line downstream tooling joins against job.state transitions. Nil job
+// means the request never produced one (decode error, backpressure,
+// unknown id). The event is one atomic load when logging is off.
+func (s *Server) logRequest(r *http.Request, j *Job, coalesced bool, status, bytes int) {
+	b := events.New("service.request")
+	if b == nil {
+		return
 	}
-	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	b.Str("method", r.Method).Str("path", r.URL.Path).
+		Int("status", int64(status)).Int("bytes", int64(bytes))
+	if j != nil {
+		st := s.statusOf(j)
+		var co int64
+		if coalesced {
+			co = 1
+		}
+		b.Str("job", j.id).Int("coalesced", co).
+			Int("queued_ms", st.QueuedMs).Int("run_ms", st.RunMs)
+	}
+	b.Emit()
 }
 
-func writeJSON(w http.ResponseWriter, status int, doc any) {
+// maxRetryAfter caps the derived backoff; beyond a minute the estimate
+// says more about a cold window than about the queue.
+const maxRetryAfter = 60 * time.Second
+
+// retryAfterSecs derives the client backoff from live state: with a
+// warm service-time window, the advertised wait is the time the queue
+// needs to drain one slot — mean run time × (queue length + 1) spread
+// over the worker pool — clamped to [Config.RetryAfter, 60s]. A cold
+// window (service just started, telemetry off, no traffic this past
+// minute) falls back to the configured constant.
+func (s *Server) retryAfterSecs() int64 {
+	minSecs := int64(s.cfg.RetryAfter / time.Second)
+	if minSecs < 1 {
+		minSecs = 1
+	}
+	st := s.runWin.Stats(time.Minute)
+	if st.Count == 0 {
+		return minSecs
+	}
+	waitNs := st.Mean * float64(len(s.queue)+1) / float64(s.cfg.Workers)
+	secs := int64(math.Ceil(waitNs / float64(time.Second)))
+	if secs < minSecs {
+		secs = minSecs
+	}
+	if max := int64(maxRetryAfter / time.Second); secs > max {
+		secs = max
+	}
+	return secs
+}
+
+// setRetryAfter advertises the derived client backoff (Retry-After has
+// whole-second resolution, so at least 1s).
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSecs(), 10))
+}
+
+func writeJSON(w http.ResponseWriter, status int, doc any) int {
 	data, err := json.Marshal(doc)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return writeError(w, http.StatusInternalServerError, err)
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
-	_, _ = w.Write(append(data, '\n'))
+	n, _ := w.Write(append(data, '\n'))
+	return n
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+func writeError(w http.ResponseWriter, status int, err error) int {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	doc := struct {
 		Error string `json:"error"`
 	}{Error: err.Error()}
 	data, _ := json.Marshal(doc)
-	_, _ = w.Write(append(data, '\n'))
+	n, _ := w.Write(append(data, '\n'))
+	return n
 }
 
-// addCacheStats harvests the memo caches' hit/miss counters from the
-// telemetry registry into the manifest, exactly as the CLI does for
-// its run manifest: every cache.<name>.{hits,misses} pair becomes one
-// manifest cache entry, sorted by name.
-func addCacheStats(man *provenance.Manifest) {
-	snap := telemetry.Capture()
+// addCacheStats harvests the job's own cache traffic from its
+// telemetry scope into the manifest: every cache.<name>.{hits,misses}
+// pair the scope tallied becomes one manifest cache entry, sorted by
+// name. Scoped harvesting is what keeps concurrent jobs' manifests
+// honest — each reports the hits and misses its own execution
+// incurred, and the per-job counts sum to the global delta.
+func addCacheStats(man *provenance.Manifest, sc *telemetry.Scope) {
 	hits := map[string]int64{}
 	misses := map[string]int64{}
-	for _, c := range snap.Counters {
+	for _, c := range sc.Counters() {
 		if name, ok := strings.CutPrefix(c.Name, "cache."); ok {
 			switch {
 			case strings.HasSuffix(name, ".hits"):

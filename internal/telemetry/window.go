@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Window layout: a ring of one-second sub-windows covering the longest
+// horizon the readouts serve (5 minutes). Each bucket is stamped with
+// the unix second it holds, so stale slots are recycled lazily on the
+// next write or read — there is no background sweeper goroutine.
+const (
+	// winBuckets is the ring length in seconds; Stats clamps every
+	// horizon to it.
+	winBuckets = 300
+	// WindowSpan is the longest horizon a Window can answer.
+	WindowSpan = winBuckets * time.Second
+)
+
+// Standard readout horizons, the ones Capture and the /metricsz
+// renderer publish for every registered window.
+var windowHorizons = []struct {
+	label string
+	d     time.Duration
+}{
+	{"1m", time.Minute},
+	{"5m", 5 * time.Minute},
+}
+
+// winBucket is one second of observations: the same moments and
+// power-of-two buckets a Histogram keeps, plus an error count, all
+// guarded by the window's mutex.
+type winBucket struct {
+	sec    int64 // unix second this bucket holds; 0 means empty
+	count  int64
+	errs   int64
+	sum    int64
+	min    int64
+	max    int64
+	counts [histBuckets]int64
+}
+
+// Window is a rolling-window metric: observations land in one-second
+// ring buckets and age out, so Stats answers "the last minute", not
+// "since boot" — the readout a live ops surface and an SLO tracker
+// need where the cumulative Histogram cannot. Recording while the
+// telemetry switch is off is one atomic load and zero allocations,
+// exactly like the other metric kinds; while on, it is one short
+// mutex-guarded bucket update (windows sit on request paths, not in
+// inner simulation loops).
+//
+// The clock is injectable per window (SetClock), so tests drive decay
+// deterministically and packages under the determinism analyzer never
+// read the wall clock themselves.
+type Window struct {
+	name string
+	unit string
+
+	mu      sync.Mutex
+	now     func() int64 // unix nanoseconds
+	buckets [winBuckets]winBucket
+}
+
+// Name returns the window's registered name.
+func (w *Window) Name() string {
+	if w == nil {
+		return ""
+	}
+	return w.name
+}
+
+// Unit returns the window's unit label.
+func (w *Window) Unit() string {
+	if w == nil {
+		return ""
+	}
+	return w.unit
+}
+
+// wallNowNs is the default window clock.
+func wallNowNs() int64 { return time.Now().UnixNano() }
+
+// SetClock injects the window's time source (unix nanoseconds) and
+// returns a function restoring the previous one, for scoped use in
+// tests.
+func (w *Window) SetClock(now func() int64) (restore func()) {
+	w.mu.Lock()
+	prev := w.now
+	w.now = now
+	w.mu.Unlock()
+	return func() {
+		w.mu.Lock()
+		w.now = prev
+		w.mu.Unlock()
+	}
+}
+
+// Observe records one successful observation when telemetry is
+// enabled; negative values clamp to zero. Nil-safe.
+func (w *Window) Observe(v int64) {
+	if w == nil || !enabled.Load() {
+		return
+	}
+	w.record(v, false)
+}
+
+// ObserveErr records one failed observation — it lands in the same
+// latency distribution and additionally counts toward the window's
+// error rate. Nil-safe.
+func (w *Window) ObserveErr(v int64) {
+	if w == nil || !enabled.Load() {
+		return
+	}
+	w.record(v, true)
+}
+
+// record updates the current second's bucket, recycling it if the ring
+// has wrapped past its stamp.
+func (w *Window) record(v int64, isErr bool) {
+	if v < 0 {
+		v = 0
+	}
+	w.mu.Lock()
+	sec := w.now() / int64(time.Second)
+	b := &w.buckets[sec%winBuckets]
+	if b.sec != sec {
+		*b = winBucket{sec: sec}
+	}
+	b.count++
+	b.sum += v
+	if b.count == 1 || v < b.min {
+		b.min = v
+	}
+	if v > b.max {
+		b.max = v
+	}
+	b.counts[bucketOf(v)]++
+	if isErr {
+		b.errs++
+	}
+	w.mu.Unlock()
+}
+
+// WindowStats is one horizon's merged readout: the request and error
+// rates plus the same moments and quantiles a HistogramSnapshot
+// carries, computed over only the observations younger than Horizon.
+type WindowStats struct {
+	Horizon    time.Duration
+	Count      int64
+	Errors     int64
+	RatePerSec float64
+	ErrorRate  float64 // errors / count; 0 when the window is empty
+	Sum        int64
+	Min        int64
+	Max        int64
+	Mean       float64
+	P50        int64
+	P95        int64
+	P99        int64
+}
+
+// Stats merges the buckets younger than horizon (clamped to
+// WindowSpan) into one readout. Nil-safe: a nil window reports zeros.
+func (w *Window) Stats(horizon time.Duration) WindowStats {
+	st := WindowStats{Horizon: horizon}
+	if w == nil {
+		return st
+	}
+	if horizon <= 0 || horizon > WindowSpan {
+		horizon = WindowSpan
+		st.Horizon = WindowSpan
+	}
+	secs := int64(horizon / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+
+	w.mu.Lock()
+	nowSec := w.now() / int64(time.Second)
+	var counts [histBuckets]int64
+	first := true
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		// Live buckets are stamped within (nowSec-secs, nowSec].
+		if b.sec == 0 || b.sec > nowSec || b.sec <= nowSec-secs {
+			continue
+		}
+		st.Count += b.count
+		st.Errors += b.errs
+		st.Sum += b.sum
+		if first || b.min < st.Min {
+			st.Min = b.min
+		}
+		if b.max > st.Max {
+			st.Max = b.max
+		}
+		for j := range counts {
+			counts[j] += b.counts[j]
+		}
+		first = false
+	}
+	w.mu.Unlock()
+
+	if st.Count == 0 {
+		st.Min = 0
+		return st
+	}
+	st.RatePerSec = float64(st.Count) / float64(secs)
+	st.ErrorRate = float64(st.Errors) / float64(st.Count)
+	st.Mean = float64(st.Sum) / float64(st.Count)
+	st.P50 = quantile(&counts, st.Count, 0.50, st.Min, st.Max)
+	st.P95 = quantile(&counts, st.Count, 0.95, st.Min, st.Max)
+	st.P99 = quantile(&counts, st.Count, 0.99, st.Min, st.Max)
+	return st
+}
+
+// reset empties every bucket (registry Reset).
+func (w *Window) reset() {
+	w.mu.Lock()
+	w.buckets = [winBuckets]winBucket{}
+	w.mu.Unlock()
+}
+
+// GetWindow returns the process-wide rolling window registered under
+// name, creating it on first use with the default nanosecond unit.
+// Like the other metric kinds, callers hold the returned pointer.
+func GetWindow(name string) *Window {
+	return GetWindowWithUnit(name, "ns")
+}
+
+// GetWindowWithUnit is GetWindow for non-time windows. The unit is
+// fixed at first registration.
+func GetWindowWithUnit(name, unit string) *Window {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if reg.windows == nil {
+		reg.windows = make(map[string]*Window)
+	}
+	w, ok := reg.windows[name]
+	if !ok {
+		w = &Window{name: name, unit: unit, now: wallNowNs}
+		reg.windows[name] = w
+	}
+	return w
+}

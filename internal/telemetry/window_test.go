@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable unix-nanosecond time source for window tests.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (f *fakeClock) now() int64              { return f.ns.Load() }
+func (f *fakeClock) set(t time.Duration)     { f.ns.Store(int64(t)) }
+func (f *fakeClock) advance(d time.Duration) { f.ns.Add(int64(d)) }
+
+// newTestWindow registers a window, empties it, and pins it to a fake
+// clock for the duration of the test.
+func newTestWindow(t *testing.T, name string) (*Window, *fakeClock) {
+	t.Helper()
+	w := GetWindow(name)
+	w.reset()
+	clk := &fakeClock{}
+	clk.set(1000 * time.Second) // away from zero so bucket stamps are non-zero
+	t.Cleanup(w.SetClock(clk.now))
+	return w, clk
+}
+
+// TestWindowDecayAfterBurst pins the whole point of a rolling window:
+// a traffic burst is visible in the 1m readout, ages out of it after a
+// minute, survives in the 5m readout, and eventually leaves that too —
+// without any recording in between.
+func TestWindowDecayAfterBurst(t *testing.T) {
+	defer SetEnabled(true)()
+	w, clk := newTestWindow(t, "test.window.decay")
+
+	const burst = 100
+	for i := 0; i < burst; i++ {
+		w.Observe(int64(1000 * (i + 1)))
+	}
+	if got := w.Stats(time.Minute).Count; got != burst {
+		t.Fatalf("1m count right after burst = %d, want %d", got, burst)
+	}
+
+	clk.advance(61 * time.Second)
+	if got := w.Stats(time.Minute).Count; got != 0 {
+		t.Errorf("1m count 61s after burst = %d, want 0 (decayed)", got)
+	}
+	five := w.Stats(5 * time.Minute)
+	if five.Count != burst {
+		t.Errorf("5m count 61s after burst = %d, want %d (still inside)", five.Count, burst)
+	}
+	if five.P99 == 0 || five.P99 < five.P50 {
+		t.Errorf("5m quantiles degenerate: p50=%d p99=%d", five.P50, five.P99)
+	}
+
+	clk.advance(5 * time.Minute)
+	if got := w.Stats(5 * time.Minute).Count; got != 0 {
+		t.Errorf("5m count after full decay = %d, want 0", got)
+	}
+}
+
+// TestWindowRatesAndErrors checks the rate readouts: RatePerSec spreads
+// the count over the horizon and ErrorRate is errors/count.
+func TestWindowRatesAndErrors(t *testing.T) {
+	defer SetEnabled(true)()
+	w, _ := newTestWindow(t, "test.window.rates")
+
+	for i := 0; i < 30; i++ {
+		w.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		w.ObserveErr(20)
+	}
+	st := w.Stats(time.Minute)
+	if st.Count != 40 || st.Errors != 10 {
+		t.Fatalf("count/errors = %d/%d, want 40/10", st.Count, st.Errors)
+	}
+	if want := 40.0 / 60.0; st.RatePerSec != want {
+		t.Errorf("RatePerSec = %g, want %g", st.RatePerSec, want)
+	}
+	if want := 0.25; st.ErrorRate != want {
+		t.Errorf("ErrorRate = %g, want %g", st.ErrorRate, want)
+	}
+	if st.Min != 10 || st.Max != 20 {
+		t.Errorf("envelope = [%d, %d], want [10, 20]", st.Min, st.Max)
+	}
+}
+
+// TestWindowQuantilesOrdered sanity-checks the interpolated quantiles
+// against the observed envelope.
+func TestWindowQuantilesOrdered(t *testing.T) {
+	defer SetEnabled(true)()
+	w, _ := newTestWindow(t, "test.window.quantiles")
+	for i := int64(1); i <= 1000; i++ {
+		w.Observe(i)
+	}
+	st := w.Stats(time.Minute)
+	if st.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", st.Count)
+	}
+	if !(st.Min <= st.P50 && st.P50 <= st.P95 && st.P95 <= st.P99 && st.P99 <= st.Max) {
+		t.Errorf("quantiles out of order: min=%d p50=%d p95=%d p99=%d max=%d",
+			st.Min, st.P50, st.P95, st.P99, st.Max)
+	}
+	if st.Mean < 400 || st.Mean > 600 {
+		t.Errorf("mean = %g, want ~500.5", st.Mean)
+	}
+}
+
+// TestWindowBucketRecycle pins the lazy-reset path: when the ring wraps
+// onto a stale bucket (exactly WindowSpan later), the old second's data
+// is discarded rather than merged.
+func TestWindowBucketRecycle(t *testing.T) {
+	defer SetEnabled(true)()
+	w, clk := newTestWindow(t, "test.window.recycle")
+
+	w.Observe(5)
+	clk.advance(WindowSpan) // same ring slot, different second
+	w.Observe(7)
+	st := w.Stats(WindowSpan)
+	if st.Count != 1 || st.Min != 7 || st.Max != 7 {
+		t.Errorf("stats after wrap = %+v, want exactly the new observation", st)
+	}
+}
+
+// TestWindowDisabledOverhead pins constraint #1 for windows, exactly
+// like TestTelemetryDisabledOverhead does for the other metric kinds:
+// while the switch is off, Observe allocates nothing and records
+// nothing.
+func TestWindowDisabledOverhead(t *testing.T) {
+	defer SetEnabled(false)()
+	w := GetWindow("test.window.disabled")
+	w.reset()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		w.Observe(42)
+		w.ObserveErr(43)
+	}); allocs != 0 {
+		t.Errorf("disabled Window.Observe allocates %v times per run, want 0", allocs)
+	}
+	if got := w.Stats(WindowSpan).Count; got != 0 {
+		t.Errorf("disabled window recorded %d observations, want 0", got)
+	}
+}
+
+// TestWindowEnabledNoAlloc: the enabled record path is a fixed bucket
+// update, no allocation.
+func TestWindowEnabledNoAlloc(t *testing.T) {
+	defer SetEnabled(true)()
+	w, _ := newTestWindow(t, "test.window.noalloc")
+	if allocs := testing.AllocsPerRun(1000, func() { w.Observe(42) }); allocs != 0 {
+		t.Errorf("enabled Window.Observe allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestWindowConcurrent hammers one window from many goroutines and
+// expects an exact merged count.
+func TestWindowConcurrent(t *testing.T) {
+	defer SetEnabled(true)()
+	w, _ := newTestWindow(t, "test.window.concurrent")
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if i%10 == 0 {
+					w.ObserveErr(int64(g*per + i))
+				} else {
+					w.Observe(int64(g*per + i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := w.Stats(time.Minute)
+	if st.Count != workers*per {
+		t.Errorf("count = %d, want %d", st.Count, workers*per)
+	}
+	if st.Errors != workers*per/10 {
+		t.Errorf("errors = %d, want %d", st.Errors, workers*per/10)
+	}
+}
+
+// TestWindowNilSafety: the nil window is a no-op everywhere, like every
+// other metric handle.
+func TestWindowNilSafety(t *testing.T) {
+	defer SetEnabled(true)()
+	var w *Window
+	w.Observe(1)
+	w.ObserveErr(2)
+	if st := w.Stats(time.Minute); st.Count != 0 {
+		t.Errorf("nil window stats = %+v, want zeros", st)
+	}
+	if w.Name() != "" || w.Unit() != "" {
+		t.Error("nil window has a name or unit")
+	}
+}
+
+// TestWindowSnapshotRendering checks the three renderers expose the
+// window readouts: Capture carries a windows section, WriteText prints
+// it, and WriteProm emits the _window summaries with horizon labels.
+func TestWindowSnapshotRendering(t *testing.T) {
+	defer SetEnabled(true)()
+	w, _ := newTestWindow(t, "test.window.render")
+	for i := 0; i < 50; i++ {
+		w.Observe(int64(1 << 20))
+	}
+
+	snap := Capture()
+	var ws *WindowSnapshot
+	for i := range snap.Windows {
+		if snap.Windows[i].Name == "test.window.render" {
+			ws = &snap.Windows[i]
+		}
+	}
+	if ws == nil {
+		t.Fatal("Capture() carries no snapshot for the registered window")
+	}
+	if len(ws.Horizons) != 2 || ws.Horizons[0].Label != "1m" || ws.Horizons[1].Label != "5m" {
+		t.Fatalf("horizons = %+v, want [1m 5m]", ws.Horizons)
+	}
+	if ws.Horizons[0].Count != 50 || ws.Horizons[0].P99 == 0 {
+		t.Errorf("1m horizon = %+v, want count 50 and non-zero p99", ws.Horizons[0])
+	}
+
+	var text bytes.Buffer
+	if err := snap.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "-- windows") || !strings.Contains(text.String(), "test.window.render") {
+		t.Errorf("WriteText misses the windows section:\n%s", text.String())
+	}
+
+	var prom bytes.Buffer
+	if err := snap.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`test_window_render_window{unit="ns",horizon="1m",quantile="0.99"}`,
+		`test_window_render_window_rate{horizon="5m"}`,
+		`test_window_render_window_error_rate{horizon="1m"}`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("WriteProm output misses %q", want)
+		}
+	}
+}
+
+// TestWindowRegistryReset: the package-wide Reset empties windows too.
+func TestWindowRegistryReset(t *testing.T) {
+	defer SetEnabled(true)()
+	w, _ := newTestWindow(t, "test.window.reset")
+	w.Observe(9)
+	Reset()
+	if got := w.Stats(WindowSpan).Count; got != 0 {
+		t.Errorf("count after Reset = %d, want 0", got)
+	}
+}

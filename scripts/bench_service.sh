@@ -22,12 +22,17 @@ distinct="${DISTINCT:-4}"
 # The burst must exceed queue+workers or backpressure cannot trip.
 overflow="${OVERFLOW:-24}"
 p99max="${P99_MAX:-5s}"
+# Generous SLO budgets so the burn gauges are live in the benchmark
+# record without ever degrading /healthz during the sweep.
+slop99="${SLO_P99:-60s}"
+sloerr="${SLO_ERROR_RATE:-1}"
 
 go build -o accordiond ./cmd/accordiond
 
 echo "bench_service: starting accordiond on $addr (queue $queue, $workers workers)..." >&2
 ./accordiond -addr "$addr" -queue "$queue" -workers "$workers" \
-    -retry-after 1s -drain-timeout 60s &
+    -retry-after 1s -drain-timeout 60s \
+    -slo-p99 "$slop99" -slo-error-rate "$sloerr" &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true' EXIT INT TERM
 
