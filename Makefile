@@ -2,7 +2,7 @@
 # mandatory since the worker pool and the memoized model caches put
 # goroutines on shared chips, fronts, and Cholesky factors. `make ci`
 # mirrors .github/workflows/ci.yml locally, job for job.
-.PHONY: tier1 race bench-parallel bench-field golden ci fmt-check cover lint fuzz service-smoke
+.PHONY: tier1 race bench-parallel bench-field golden ci fmt-check cover lint fuzz service-smoke history-check
 
 tier1:
 	go build ./... && go test ./...
@@ -73,6 +73,13 @@ bench-field:
 # record BENCH_service.json; mirrors the CI service-smoke job.
 service-smoke:
 	P99_MAX=5s ./scripts/bench_service.sh
+
+# Gate the newest record in the committed run-history store against
+# its baseline window (see README "Run history & regression gate");
+# mirrors the CI history-gate job. HISTORY_DIR to point elsewhere.
+HISTORY_DIR ?= HISTORY
+history-check:
+	go run ./cmd/accordionhist check -dir $(HISTORY_DIR)
 
 # Regenerate the pinned golden artifacts after an intentional model change.
 golden:

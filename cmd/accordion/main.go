@@ -5,6 +5,7 @@
 //	accordion [-seed N] [-chip N] [-chips N] [-j N] [-telemetry text|json]
 //	          [-trace FILE] [-events FILE] [-atlas DIR] [-manifest FILE]
 //	          [-convergence FILE] [-progress] [-pprof addr]
+//	          [-history DIR [-history-check] [-selfprofile]]
 //	          [list | all | <experiment id>...]
 //	accordion -verify-manifest FILE
 //
@@ -46,6 +47,17 @@
 // endpoint, and the /eventsz NDJSON event-log endpoint for live
 // scraping. With all of these off, the run is byte-identical to one
 // without the observability tier.
+//
+// Run history: -history DIR appends one record per completed run to
+// the store's records.ndjson — runner wall times, telemetry counters
+// and quantiles, cache hit rates, convergence CI widths, all stamped
+// with the binary's VCS revision and GOMAXPROCS. -history-check then
+// gates the fresh record against its baseline window (see
+// cmd/accordionhist and the README's "Run history & regression gate"
+// section) and exits 1 on a confirmed regression. -selfprofile
+// brackets the run with a pprof CPU+heap capture and stores the
+// top-N flat hotspots in the record, so hotspot drift is diffable
+// across runs without opening pprof.
 package main
 
 import (
@@ -65,6 +77,7 @@ import (
 	"repro/internal/atlas"
 	"repro/internal/converge"
 	"repro/internal/experiments"
+	"repro/internal/history"
 	"repro/internal/parallel"
 	"repro/internal/provenance"
 	"repro/internal/telemetry"
@@ -89,6 +102,10 @@ func main() {
 		progress   = flag.Bool("progress", false, "print chips-done/ETA/CI-width progress lines to stderr during the run")
 		verifyMani = flag.String("verify-manifest", "", "re-hash a manifest's artifacts and exit non-zero on mismatch")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof, /telemetryz and /metricsz on this address (e.g. localhost:6060)")
+		histDir    = flag.String("history", "", "append a run record (telemetry, convergence, runner timings) to this run-history store")
+		histCheck  = flag.Bool("history-check", false, "after appending, gate the record against its baseline window; exit 1 on regression (requires -history)")
+		histMargin = flag.Float64("history-margin", 0, "gate slack relative to the baseline mean (default 0.10; with -history-check)")
+		selfProf   = flag.Bool("selfprofile", false, "capture CPU+heap pprof around the run and store top hotspots in the history record (requires -history)")
 	)
 	flag.Parse()
 	fail := func(code int, format string, args ...any) {
@@ -121,6 +138,10 @@ func main() {
 		fail(2, "-j must be non-negative (0 = GOMAXPROCS), got %d", *workers)
 	case *format != "text" && *format != "csv":
 		fail(2, "unknown format %q (want text or csv)", *format)
+	case *histCheck && *histDir == "":
+		fail(2, "-history-check requires -history DIR")
+	case *selfProf && *histDir == "":
+		fail(2, "-selfprofile requires -history DIR (the hotspot summary lives in the record)")
 	}
 	parallel.SetWorkers(*workers)
 
@@ -128,9 +149,10 @@ func main() {
 	if err != nil {
 		fail(2, "%v", err)
 	}
-	// The manifest reports cache hit rates, which live in telemetry
-	// counters, so recording must be on even without a -telemetry dump.
-	if *pprofAddr != "" || *maniPath != "" {
+	// The manifest and the history record report cache hit rates,
+	// which live in telemetry counters, so recording must be on even
+	// without a -telemetry dump.
+	if *pprofAddr != "" || *maniPath != "" || *histDir != "" {
 		telemetry.SetEnabled(true)
 	}
 	if *tracePath != "" {
@@ -140,7 +162,7 @@ func main() {
 	if err != nil {
 		fail(2, "%v", err)
 	}
-	if *convPath != "" || *progress {
+	if *convPath != "" || *progress || *histDir != "" {
 		converge.SetEnabled(true)
 	}
 	if *pprofAddr != "" {
@@ -274,7 +296,26 @@ func main() {
 		}
 	}
 
-	results, err := experiments.RunMany(ctx, cfg, args)
+	// With -selfprofile the run is bracketed by a pprof capture whose
+	// hotspot digest lands in the history record; without it the call
+	// is exactly the pre-history direct path.
+	var results []experiments.RunResult
+	var prof *history.ProfileSummary
+	if *selfProf {
+		var runErr error
+		var perr error
+		prof, perr = history.CaptureProfile(history.ProfileOptions{CPU: true, Heap: true}, func() error {
+			results, runErr = experiments.RunMany(ctx, cfg, args)
+			return runErr
+		})
+		if runErr == nil && perr != nil {
+			// A profiler complaint must not fail a healthy run.
+			fmt.Fprintf(os.Stderr, "accordion: selfprofile: %v\n", perr)
+		}
+		err = runErr
+	} else {
+		results, err = experiments.RunMany(ctx, cfg, args)
+	}
 	if err != nil {
 		fail(2, "%v (try `accordion list`)", err)
 	}
@@ -346,6 +387,51 @@ func main() {
 	}
 	finishObservability(results)
 	dumpTelemetry()
+
+	if *histDir != "" {
+		rec := buildHistoryRecord(results, time.Since(start), prof)
+		st := history.Store{Dir: *histDir}
+		if err := st.Append(rec); err != nil {
+			fail(1, "%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "accordion: appended %s record (%d metrics) to %s\n",
+			rec.CompatKey(), len(rec.Metrics), st.Path())
+		if *histCheck {
+			recs, err := st.Load()
+			if err != nil {
+				fail(1, "%v", err)
+			}
+			rep, err := history.Check(recs, history.DefaultDirections(),
+				history.GateConfig{Margin: *histMargin})
+			if err != nil {
+				fail(1, "%v", err)
+			}
+			if err := rep.WriteText(os.Stderr); err != nil {
+				fail(1, "%v", err)
+			}
+			if rep.Regressions() > 0 {
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// buildHistoryRecord harvests the finished run into a history record:
+// run identity from the build info, per-runner wall times, the full
+// telemetry snapshot (cache hit rates included), and the convergence
+// statistics.
+func buildHistoryRecord(results []experiments.RunResult, wall time.Duration, prof *history.ProfileSummary) history.Record {
+	rec := history.NewRecord("accordion", "run")
+	rec.WallMs = wall.Milliseconds()
+	rec.Profile = prof
+	for _, r := range results {
+		if r.Err == nil {
+			rec.Set("runner."+r.ID+".wall_ms", float64(r.Elapsed.Milliseconds()))
+		}
+	}
+	rec.AddTelemetry(telemetry.Capture())
+	rec.AddConvergence(converge.Capture())
+	return rec
 }
 
 // writeTrace exports everything the span arena recorded as Chrome

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/history"
+	"repro/internal/telemetry"
+)
+
+// historyRecorder appends one run-history record per completed batch
+// of jobs, so a long-lived daemon leaves the same cross-run trail the
+// one-shot CLI does without paying a disk write per job. The server's
+// OnJobDone hook only bumps a counter and maybe pokes a channel; the
+// actual snapshot+append happens on a dedicated goroutine.
+type historyRecorder struct {
+	store history.Store
+	batch int
+
+	mu      sync.Mutex
+	pending int
+
+	kick chan struct{}
+}
+
+func newHistoryRecorder(dir string, batch int) *historyRecorder {
+	return &historyRecorder{
+		store: history.Store{Dir: dir},
+		batch: batch,
+		kick:  make(chan struct{}, 1),
+	}
+}
+
+// jobDone is the service.Config.OnJobDone hook: count the completion
+// and wake the recorder once a full batch has accumulated. Cheap and
+// non-blocking — the worker goroutine never waits on history I/O.
+func (h *historyRecorder) jobDone() {
+	h.mu.Lock()
+	h.pending++
+	full := h.pending >= h.batch
+	h.mu.Unlock()
+	if full {
+		select {
+		case h.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// run appends a record whenever a batch fills, until ctx is canceled.
+// The daemon calls flush separately at drain so partially-filled
+// batches still land.
+func (h *historyRecorder) run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-h.kick:
+			h.flush()
+		}
+	}
+}
+
+// flush appends one record covering every completion counted since
+// the last flush; a no-op when nothing completed.
+func (h *historyRecorder) flush() {
+	h.mu.Lock()
+	n := h.pending
+	h.pending = 0
+	h.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	rec := history.NewRecord("accordiond", "batch")
+	rec.AddTelemetry(telemetry.Capture())
+	rec.Set("batch.jobs_done", float64(n))
+	if err := h.store.Append(rec); err != nil {
+		// History is an observability tier: losing a record must never
+		// take the service down with it.
+		fmt.Fprintf(os.Stderr, "accordiond: history append: %v\n", err)
+	}
+}

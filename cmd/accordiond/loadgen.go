@@ -37,6 +37,9 @@ type loadFlags struct {
 	p99Max       time.Duration
 	timeout      time.Duration
 	out          string
+	revision     string
+	dirty        bool
+	gomaxprocs   int
 }
 
 func newLoadFlags(fs *flag.FlagSet) *loadFlags {
@@ -53,6 +56,9 @@ func newLoadFlags(fs *flag.FlagSet) *loadFlags {
 	fs.DurationVar(&l.p99Max, "load-p99-max", 0, "fail if sweep p99 latency exceeds this (0 = record only)")
 	fs.DurationVar(&l.timeout, "load-timeout", 2*time.Minute, "per-request client timeout")
 	fs.StringVar(&l.out, "load-out", "BENCH_service.json", "benchmark JSON output path")
+	fs.StringVar(&l.revision, "load-revision", "", "VCS revision stamped into the bench JSON (from the harness)")
+	fs.BoolVar(&l.dirty, "load-dirty", false, "VCS dirty flag stamped into the bench JSON")
+	fs.IntVar(&l.gomaxprocs, "load-gomaxprocs", 0, "server GOMAXPROCS stamped into the bench JSON")
 	return l
 }
 
@@ -77,20 +83,34 @@ func buildBody(experiment string, chips int, seed int64) []byte {
 	return data
 }
 
-// benchDoc is the BENCH_service.json schema.
+// benchDoc is the BENCH_service.json schema. The VCS/GOMAXPROCS
+// identity keys at the top level are what `accordionhist append`
+// lifts into a run-history record, so regression baselines only ever
+// compare like with like.
 type benchDoc struct {
-	URL         string             `json:"url"`
-	Experiment  string             `json:"experiment"`
-	Chips       int                `json:"chips"`
-	Requests    int                `json:"requests"`
-	Concurrency int                `json:"concurrency"`
-	Distinct    int                `json:"distinct"`
-	Sweep       sweepDoc           `json:"sweep"`
-	Overflow    *overflowDoc       `json:"overflow,omitempty"`
-	Determinism determinismDoc     `json:"determinism"`
-	Caches      map[string]rateDoc `json:"caches"`
-	Service     serviceDoc         `json:"service"`
-	Ops         opsDoc             `json:"ops"`
+	URL         string         `json:"url"`
+	Experiment  string         `json:"experiment"`
+	Chips       int            `json:"chips"`
+	Requests    int            `json:"requests"`
+	Concurrency int            `json:"concurrency"`
+	Distinct    int            `json:"distinct"`
+	VCSRevision string         `json:"vcs_revision,omitempty"`
+	VCSDirty    bool           `json:"vcs_dirty,omitempty"`
+	GOMAXPROCS  int            `json:"gomaxprocs,omitempty"`
+	Sweep       sweepDoc       `json:"sweep"`
+	Overflow    *overflowDoc   `json:"overflow,omitempty"`
+	Determinism determinismDoc `json:"determinism"`
+	// CachesCold is the cumulative cache picture after the sweep: a
+	// fresh daemon shows the cold misses the first requests paid.
+	// CachesWarm isolates a second visit to an already-measured model
+	// (same benchmark+seed, different population size), where the memo
+	// layers must actually hit — the block that proves the caches earn
+	// their keep, which the old single `caches` blob (all-zero hit
+	// rates on a cold server) never could.
+	CachesCold map[string]rateDoc `json:"caches_cold"`
+	CachesWarm map[string]rateDoc `json:"caches_warm"`
+	Service    serviceDoc         `json:"service"`
+	Ops        opsDoc             `json:"ops"`
 }
 
 // opsDoc records the observability-surface checks: the dashboard and
@@ -158,6 +178,9 @@ func (l *loadFlags) run() error {
 		Requests:    l.requests,
 		Concurrency: l.concurrency,
 		Distinct:    l.distinct,
+		VCSRevision: l.revision,
+		VCSDirty:    l.dirty,
+		GOMAXPROCS:  l.gomaxprocs,
 	}
 
 	// Sweep: l.requests POSTs to /run from l.concurrency goroutines,
@@ -280,6 +303,9 @@ func (l *loadFlags) run() error {
 	if err := l.scrape(client, &doc); err != nil {
 		return err
 	}
+	if err := l.warmSweep(client, &doc); err != nil {
+		return err
+	}
 	if err := l.checkOps(client, &doc); err != nil {
 		return err
 	}
@@ -295,6 +321,28 @@ func (l *loadFlags) run() error {
 	fmt.Fprintf(os.Stderr, "accordiond: load: wrote %s\n", l.out)
 	_, err = os.Stdout.Write(data)
 	return err
+}
+
+// postPatient posts to /run until it gets a 200, backing off on 429 —
+// the overflow burst right before the warm phase leaves the queue
+// full of deliberately slow jobs, and a 429 there is the backpressure
+// contract working, not a failure.
+func (l *loadFlags) postPatient(client *http.Client, what string, body []byte) error {
+	deadline := time.Now().Add(l.timeout)
+	for {
+		status, _, err := l.post(client, "/run", body)
+		switch {
+		case err != nil:
+			return fmt.Errorf("%s request: %w", what, err)
+		case status == http.StatusOK:
+			return nil
+		case status != http.StatusTooManyRequests:
+			return fmt.Errorf("%s request: unexpected status %d", what, status)
+		case time.Now().After(deadline):
+			return fmt.Errorf("%s request: still 429 after %s (queue never drained)", what, l.timeout)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
 }
 
 // post sends one JSON request and returns the status and body.
@@ -388,8 +436,6 @@ func (l *loadFlags) scrape(client *http.Client, doc *benchDoc) error {
 	if doc.Ops.RollingCount1m == 0 {
 		return fmt.Errorf("/telemetryz: rolling service.latency_ns 1m window empty after %d requests", l.requests)
 	}
-	hits := map[string]int64{}
-	misses := map[string]int64{}
 	for _, c := range snap.Counters {
 		switch c.Name {
 		case "service.requests":
@@ -399,27 +445,112 @@ func (l *loadFlags) scrape(client *http.Client, doc *benchDoc) error {
 		case "service.coalesced":
 			doc.Service.Coalesced = c.Value
 		}
-		if name, ok := strings.CutPrefix(c.Name, "cache."); ok {
-			if base, ok := strings.CutSuffix(name, ".hits"); ok {
-				hits[base] = c.Value
-			} else if base, ok := strings.CutSuffix(name, ".misses"); ok {
-				misses[base] = c.Value
-			}
+	}
+	cold, err := l.cacheCounters(client)
+	if err != nil {
+		return err
+	}
+	doc.CachesCold = rates(cold)
+	return nil
+}
+
+// cachePair is one memo layer's cumulative hit/miss counters.
+type cachePair struct{ hits, misses int64 }
+
+// cacheCounters scrapes the cumulative cache.<Name>.{hits,misses}
+// counters from /telemetryz.
+func (l *loadFlags) cacheCounters(client *http.Client) (map[string]cachePair, error) {
+	resp, err := client.Get(l.url + "/telemetryz")
+	if err != nil {
+		return nil, fmt.Errorf("scraping /telemetryz: %w", err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding /telemetryz: %w", err)
+	}
+	out := map[string]cachePair{}
+	for _, c := range snap.Counters {
+		name, ok := strings.CutPrefix(c.Name, "cache.")
+		if !ok {
+			continue
+		}
+		if base, ok := strings.CutSuffix(name, ".hits"); ok {
+			p := out[base]
+			p.hits = c.Value
+			out[base] = p
+		} else if base, ok := strings.CutSuffix(name, ".misses"); ok {
+			p := out[base]
+			p.misses = c.Value
+			out[base] = p
 		}
 	}
-	doc.Caches = map[string]rateDoc{}
-	for name, h := range hits {
-		m := misses[name]
-		r := rateDoc{Hits: h, Misses: m}
-		if h+m > 0 {
-			r.HitRate = float64(h) / float64(h+m)
+	return out, nil
+}
+
+// rates converts cumulative counters to the bench-JSON rate blocks,
+// dropping untouched layers.
+func rates(counters map[string]cachePair) map[string]rateDoc {
+	out := map[string]rateDoc{}
+	for name, p := range counters {
+		if p.hits+p.misses == 0 {
+			continue
 		}
-		doc.Caches[name] = r
+		out[name] = rateDoc{
+			Hits:    p.hits,
+			Misses:  p.misses,
+			HitRate: float64(p.hits) / float64(p.hits+p.misses),
+		}
 	}
-	for name, m := range misses {
-		if _, ok := hits[name]; !ok {
-			doc.Caches[name] = rateDoc{Misses: m}
-		}
+	return out
+}
+
+// delta subtracts two cumulative scrapes, isolating the cache traffic
+// between them.
+func delta(before, after map[string]cachePair) map[string]cachePair {
+	out := map[string]cachePair{}
+	for name, a := range after {
+		b := before[name]
+		out[name] = cachePair{hits: a.hits - b.hits, misses: a.misses - b.misses}
+	}
+	return out
+}
+
+// warmSweep is the warm-cache phase behind the caches_warm block. The
+// sweep above ran against a cold daemon, so its cache picture is all
+// misses — committing that as "the" cache stats once shipped a bench
+// artifact claiming the memo layers never hit. Here the client runs
+// one front-measuring request to populate the model caches, then an
+// almost-identical request — same benchmark set and seed, population
+// one chip larger so nothing coalesces — and scrapes the counter
+// delta: the second request must hit the measured-fronts memo
+// (MeasuredFronts is keyed by benchmark+seed, not population), which
+// the run gates on.
+func (l *loadFlags) warmSweep(client *http.Client, doc *benchDoc) error {
+	const warmExperiment = "fig2"
+	const warmSeed = 9009
+	if err := l.postPatient(client, "warm populate", buildBody(warmExperiment, l.chips, warmSeed)); err != nil {
+		return err
+	}
+	before, err := l.cacheCounters(client)
+	if err != nil {
+		return fmt.Errorf("warm phase: %w", err)
+	}
+	if err := l.postPatient(client, "warm revisit", buildBody(warmExperiment, l.chips+1, warmSeed)); err != nil {
+		return err
+	}
+	after, err := l.cacheCounters(client)
+	if err != nil {
+		return fmt.Errorf("warm phase: %w", err)
+	}
+	doc.CachesWarm = rates(delta(before, after))
+	if doc.CachesWarm["experiments.MeasuredFronts"].Hits < 1 {
+		return fmt.Errorf("warm revisit produced no experiments.MeasuredFronts hit: %+v", doc.CachesWarm)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	accordiond [-addr HOST:PORT] [-queue N] [-workers N] [-j N]
 //	           [-retain N] [-retry-after DUR] [-drain-timeout DUR]
 //	           [-slo-p99 DUR] [-slo-error-rate F] [-telemetry text|json]
+//	           [-history DIR] [-history-batch N]
 //	accordiond -load URL [-load-requests N] [-load-concurrency N]
 //	           [-load-distinct N] [-load-experiment ID] [-load-chips N]
 //	           [-load-overflow N] [-load-p99-max DUR] [-load-out FILE]
@@ -26,6 +27,7 @@
 //	GET  /telemetryz       telemetry snapshot (JSON)
 //	GET  /metricsz         telemetry snapshot (Prometheus text)
 //	GET  /eventsz          domain event ring (NDJSON)
+//	GET  /historyz         run-history records (JSON; ?format=html|text)
 //
 // Backpressure: the job queue is bounded (-queue). When it is full,
 // submissions are answered 429 with a Retry-After header instead of
@@ -36,6 +38,13 @@
 // cost no slot. Responses are deterministic: the same request body
 // always yields byte-identical response bytes, whatever the
 // concurrency.
+//
+// Run history: -history DIR appends one record to DIR/records.ndjson
+// per -history-batch completed jobs (and a final partial batch at
+// drain), each carrying a full telemetry snapshot — rolling-window
+// percentiles, cache hit rates, SLO burn — so `accordionhist check`
+// can gate a deployment's service metrics against the store the
+// previous builds wrote. GET /historyz serves the same records live.
 //
 // SLO tracking: -slo-p99 and -slo-error-rate set budgets against the
 // rolling 1-minute latency window. The burn-rate gauges
@@ -65,6 +74,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/parallel"
 	"repro/internal/service"
 	"repro/internal/telemetry"
@@ -82,6 +92,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown deadline for in-flight jobs")
 		sloP99       = flag.Duration("slo-p99", 0, "rolling-p99 latency budget; past it /healthz degrades (0 = off)")
 		sloErrRate   = flag.Float64("slo-error-rate", 0, "rolling error-rate budget, a fraction in (0,1]; past it /healthz degrades (0 = off)")
+		histDir      = flag.String("history", "", "append run-history records to this store directory (empty = off)")
+		histBatch    = flag.Int("history-batch", 16, "completed jobs per appended history record")
 		telemMode    = telemetry.ModeFlag(flag.CommandLine)
 		load         = newLoadFlags(flag.CommandLine)
 	)
@@ -112,6 +124,8 @@ func main() {
 		fail(2, "-slo-p99 must be non-negative, got %s", *sloP99)
 	case *sloErrRate < 0 || *sloErrRate > 1:
 		fail(2, "-slo-error-rate must be a fraction in [0,1], got %g", *sloErrRate)
+	case *histBatch < 1:
+		fail(2, "-history-batch must be at least 1, got %d", *histBatch)
 	}
 	parallel.SetWorkers(*poolWidth)
 
@@ -136,6 +150,11 @@ func main() {
 	if slo.enabled() {
 		cfg.ReadyCheck = slo.Ready
 	}
+	var recorder *historyRecorder
+	if *histDir != "" {
+		recorder = newHistoryRecorder(*histDir, *histBatch)
+		cfg.OnJobDone = recorder.jobDone
+	}
 	srv := service.New(cfg)
 
 	mux := srv.Mux()
@@ -144,6 +163,11 @@ func main() {
 	mux.Handle("GET /eventsz", events.Handler())
 	mux.Handle("GET /statusz", statuszHandler(srv, slo))
 	mux.Handle("GET /watch", watchHandler())
+	if recorder != nil {
+		mux.Handle("GET /historyz", history.Handler(recorder.store))
+	} else {
+		mux.Handle("GET /historyz", history.DisabledHandler())
+	}
 
 	// The service core spawns no goroutines; the daemon owns them all.
 	workerCtx, stopWorkers := context.WithCancel(context.Background())
@@ -152,6 +176,9 @@ func main() {
 		go srv.Worker(workerCtx)
 	}
 	go slo.run(workerCtx, time.Second)
+	if recorder != nil {
+		go recorder.run(workerCtx)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	listenErr := make(chan error, 1)
@@ -178,6 +205,11 @@ func main() {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "accordiond: drain: %v\n", err)
 		code = 1
+	}
+	if recorder != nil {
+		// Every job is now terminal; land the partial batch so short
+		// sessions still leave a record.
+		recorder.flush()
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "accordiond: http shutdown: %v\n", err)

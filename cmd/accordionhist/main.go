@@ -1,0 +1,244 @@
+// Command accordionhist is the run-history toolbelt: append records
+// to a store from artifacts other tools wrote (BENCH_*.json blobs,
+// provenance manifests, /telemetryz scrapes), run the noise-aware
+// regression gate, and render trend reports.
+//
+//	accordionhist append -dir HISTORY -tool bench_parallel -kind bench -bench BENCH_parallel.json
+//	accordionhist check  -dir HISTORY [-window 20] [-margin 0.10] [-min-baseline 3] [-json]
+//	accordionhist report -dir HISTORY [-format text|html] [-last 20] [-out FILE]
+//	accordionhist list   -dir HISTORY
+//
+// Exit codes from check: 0 pass, 1 confirmed regression, 2 usage or
+// I/O error — so CI gates on the exit status alone.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/history"
+	"repro/internal/provenance"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "append":
+		err = cmdAppend(os.Args[2:])
+	case "check":
+		os.Exit(cmdCheck(os.Args[2:]))
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "accordionhist: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "accordionhist:", err)
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: accordionhist <append|check|report|list> [flags]
+
+append  harvest artifacts into a new record and append it to the store
+check   gate the newest record against its baseline window (exit 1 on regression)
+report  render per-metric trends (text or standalone HTML)
+list    one line per record in the store
+
+Run "accordionhist <subcommand> -h" for flags.
+`)
+}
+
+// repeatedFlag collects a repeatable -flag value.
+type repeatedFlag []string
+
+func (r *repeatedFlag) String() string { return fmt.Sprint([]string(*r)) }
+func (r *repeatedFlag) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func cmdAppend(args []string) error {
+	fs := flag.NewFlagSet("accordionhist append", flag.ExitOnError)
+	dir := fs.String("dir", "", "history store directory (required)")
+	tool := fs.String("tool", "", "record tool identity, e.g. bench_parallel (required)")
+	kind := fs.String("kind", "bench", "record kind: run, bench, or batch")
+	note := fs.String("note", "", "free-form note stored on the record")
+	var benches, manifests, scrapes repeatedFlag
+	fs.Var(&benches, "bench", "BENCH_*.json blob to harvest (repeatable)")
+	fs.Var(&manifests, "manifest", "provenance manifest.json to harvest (repeatable)")
+	fs.Var(&scrapes, "telemetry", "/telemetryz JSON scrape to harvest (repeatable)")
+	revision := fs.String("revision", "", "override the VCS revision stamp")
+	dirty := fs.Bool("dirty", false, "override the VCS dirty flag (with -revision)")
+	gomaxprocs := fs.Int("gomaxprocs", 0, "override the GOMAXPROCS stamp")
+	fs.Parse(args)
+	if *dir == "" || *tool == "" {
+		return fmt.Errorf("append: -dir and -tool are required")
+	}
+	if len(benches)+len(manifests)+len(scrapes) == 0 {
+		return fmt.Errorf("append: nothing to harvest (need -bench, -manifest, or -telemetry)")
+	}
+	rec := history.NewRecord(*tool, *kind)
+	rec.Note = *note
+	for _, path := range manifests {
+		man, err := provenance.Load(path)
+		if err != nil {
+			return err
+		}
+		rec.AddManifest(man)
+	}
+	for _, path := range scrapes {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var snap telemetry.Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("telemetry scrape %s: %w", path, err)
+		}
+		rec.AddTelemetry(snap)
+	}
+	for _, path := range benches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := rec.AddBenchJSON(data); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	if *revision != "" {
+		rec.VCSRevision = *revision
+		rec.VCSDirty = *dirty
+	}
+	if *gomaxprocs > 0 {
+		rec.GOMAXPROCS = *gomaxprocs
+	}
+	st := history.Store{Dir: *dir}
+	if err := st.Append(rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "accordionhist: appended %s record (%d metrics) to %s\n",
+		rec.CompatKey(), len(rec.Metrics), st.Path())
+	return nil
+}
+
+func cmdCheck(args []string) int {
+	fs := flag.NewFlagSet("accordionhist check", flag.ExitOnError)
+	dir := fs.String("dir", "", "history store directory (required)")
+	window := fs.Int("window", 0, "baseline window size (default 20)")
+	minBaseline := fs.Int("min-baseline", 0, "fewest baseline records before gating (default 3)")
+	margin := fs.Float64("margin", 0, "relative slack beyond the 95% band (default 0.10)")
+	asJSON := fs.Bool("json", false, "emit the gate report as JSON instead of text")
+	fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "accordionhist: check: -dir is required")
+		return 2
+	}
+	recs, err := history.Store{Dir: *dir}.Load()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "accordionhist:", err)
+		return 2
+	}
+	rep, err := history.Check(recs, history.DefaultDirections(), history.GateConfig{
+		Window: *window, MinBaseline: *minBaseline, Margin: *margin,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "accordionhist:", err)
+		return 2
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "accordionhist:", err)
+			return 2
+		}
+	} else if err := rep.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "accordionhist:", err)
+		return 2
+	}
+	if rep.Regressions() > 0 {
+		return 1
+	}
+	return 0
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("accordionhist report", flag.ExitOnError)
+	dir := fs.String("dir", "", "history store directory (required)")
+	format := fs.String("format", "text", "report format: text or html")
+	last := fs.Int("last", 0, "records to trend (default 20)")
+	out := fs.String("out", "", "write to this file instead of stdout")
+	var metrics repeatedFlag
+	fs.Var(&metrics, "metric", "glob selecting trended metrics (repeatable; default: gated set)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("report: -dir is required")
+	}
+	recs, err := history.Store{Dir: *dir}.Load()
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	opt := history.ReportOptions{LastK: *last, Metrics: metrics}
+	switch *format {
+	case "text":
+		return history.WriteTextReport(w, recs, opt)
+	case "html":
+		return history.WriteHTMLReport(w, recs, opt)
+	default:
+		return fmt.Errorf("report: unknown format %q (want text or html)", *format)
+	}
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("accordionhist list", flag.ExitOnError)
+	dir := fs.String("dir", "", "history store directory (required)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("list: -dir is required")
+	}
+	recs, err := history.Store{Dir: *dir}.Load()
+	if err != nil {
+		return err
+	}
+	for i, r := range recs {
+		rev := r.VCSRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if rev == "" {
+			rev = "-"
+		}
+		dirty := ""
+		if r.VCSDirty {
+			dirty = "+"
+		}
+		fmt.Printf("%4d  %-28s %-13s %4d metrics  %s\n", i+1, r.CompatKey(), rev+dirty, len(r.Metrics), r.Note)
+	}
+	return nil
+}

@@ -175,6 +175,20 @@ func TestWindowNamesGolden(t *testing.T) {
 	runGolden(t, cfg, "./"+tdata+"/windownames")
 }
 
+// TestHistoryNamesGolden pins that the run-history tier's
+// self-accounting names (history.appends, history.gate.*, the
+// history.* event kinds) go through the same catalog audit as every
+// other emit site: an unregistered history metric or event kind is a
+// finding, registered ones are clean.
+func TestHistoryNamesGolden(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Catalog = &Catalog{
+		Metrics: set("history.appends", "history.gate.regressions"),
+		Events:  set("history.appended"),
+	}
+	runGolden(t, cfg, "./"+tdata+"/historynames")
+}
+
 func TestSeedHygieneGolden(t *testing.T) {
 	runGolden(t, testConfig(t), "./"+tdata+"/seedhygiene")
 }

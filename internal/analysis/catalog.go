@@ -54,6 +54,10 @@ func DefaultCatalog() *Catalog {
 			// accordiond SLO burn gauges
 			"service.slo.p99_burn_milli",
 			"service.slo.error_burn_milli",
+			// run-history store and regression gate
+			"history.appends",
+			"history.gate.checks",
+			"history.gate.regressions",
 		),
 		MetricPrefixes: []string{
 			"cache.",           // cache.<Name>.{hits,misses,evictions}
@@ -71,6 +75,9 @@ func DefaultCatalog() *Catalog {
 			// accordiond ops surface
 			"service.request",
 			"job.state",
+			// run-history store and regression gate
+			"history.appended",
+			"history.checked",
 		),
 	}
 }

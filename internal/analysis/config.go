@@ -138,6 +138,7 @@ func DefaultConfig(startDir string) (*Config, error) {
 				"rms", "rms/bodytrack", "rms/btcmine", "rms/canneal", "rms/ferret",
 				"rms/hotspot", "rms/srad", "rms/xh264", "sim", "tech", "telemetry", "telemetry/trace", "variation"},
 			"service": {"experiments", "provenance", "telemetry", "telemetry/events"},
+			"history": {"converge", "provenance", "telemetry", "telemetry/events"},
 		},
 		// Substrate purity: the numeric substrate and the device models
 		// must never know about chips, benchmarks, or the framework.

@@ -61,11 +61,7 @@ type Series struct {
 	unit string
 
 	mu    sync.Mutex
-	n     int64
-	mean  float64
-	m2    float64 // sum of squared deviations (Welford)
-	min   float64
-	max   float64
+	w     Welford
 	gauge gauges
 }
 
@@ -82,39 +78,17 @@ func (s *Series) Unit() string { return s.unit }
 // observe folds one value into the accumulator (Welford's update).
 func (s *Series) observe(v float64) (n int64, mean, ci float64) {
 	s.mu.Lock()
-	s.n++
-	if s.n == 1 {
-		s.min, s.max = v, v
-	} else {
-		if v < s.min {
-			s.min = v
-		}
-		if v > s.max {
-			s.max = v
-		}
-	}
-	d := v - s.mean
-	s.mean += d / float64(s.n)
-	s.m2 += d * (v - s.mean)
-	n, mean, ci = s.n, s.mean, s.ci95Locked()
+	s.w.Add(v)
+	n, mean, ci = s.w.N(), s.w.Mean(), s.w.CI95Mean()
 	s.mu.Unlock()
 	return n, mean, ci
-}
-
-// ci95Locked returns the CI95 half-width; callers hold s.mu.
-func (s *Series) ci95Locked() float64 {
-	if s.n < 2 {
-		return math.Inf(1)
-	}
-	variance := s.m2 / float64(s.n-1)
-	return z95 * math.Sqrt(variance/float64(s.n))
 }
 
 // Count returns the number of observations so far.
 func (s *Series) Count() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.n
+	return s.w.N()
 }
 
 // snapshot reads the series into plain numbers.
@@ -124,16 +98,16 @@ func (s *Series) snapshot() SeriesSnapshot {
 	snap := SeriesSnapshot{
 		Name:  s.name,
 		Unit:  s.unit,
-		Count: s.n,
-		Mean:  s.mean,
-		Min:   s.min,
-		Max:   s.max,
+		Count: s.w.N(),
+		Mean:  s.w.Mean(),
+		Min:   s.w.Min(),
+		Max:   s.w.Max(),
 	}
-	if s.n >= 2 {
-		snap.Std = math.Sqrt(s.m2 / float64(s.n-1))
-		snap.CI95 = s.ci95Locked()
-		if s.mean != 0 {
-			snap.RelCI95 = math.Abs(snap.CI95 / s.mean)
+	if s.w.N() >= 2 {
+		snap.Std = s.w.Std()
+		snap.CI95 = s.w.CI95Mean()
+		if snap.Mean != 0 {
+			snap.RelCI95 = math.Abs(snap.CI95 / snap.Mean)
 		}
 	}
 	return snap
@@ -141,7 +115,7 @@ func (s *Series) snapshot() SeriesSnapshot {
 
 func (s *Series) reset() {
 	s.mu.Lock()
-	s.n, s.mean, s.m2, s.min, s.max = 0, 0, 0, 0, 0
+	s.w = Welford{}
 	s.mu.Unlock()
 }
 

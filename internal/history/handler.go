@@ -1,0 +1,76 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the store over GET /historyz. The default rendering
+// is JSON ({"records": [...]}); ?format=html renders the trend report
+// page and ?format=text the terminal report. ?last=K bounds how many
+// trailing records are returned or trended (default 50).
+func Handler(s Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		recs, err := s.Load()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		last := 50
+		if q := r.URL.Query().Get("last"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n <= 0 {
+				http.Error(w, "bad last parameter", http.StatusBadRequest)
+				return
+			}
+			last = n
+		}
+		switch r.URL.Query().Get("format") {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Cache-Control", "no-cache")
+			doc := struct {
+				Count   int      `json:"count"`
+				Records []Record `json:"records"`
+			}{Count: len(recs), Records: Tail(recs, last)}
+			if doc.Records == nil {
+				doc.Records = []Record{}
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "html":
+			if len(recs) == 0 {
+				http.Error(w, "history: no records yet", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			if err := WriteHTMLReport(w, recs, ReportOptions{LastK: last}); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "text":
+			if len(recs) == 0 {
+				http.Error(w, "history: no records yet", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := WriteTextReport(w, recs, ReportOptions{LastK: last}); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.Error(w, "unknown format (want json, html, or text)", http.StatusBadRequest)
+		}
+	})
+}
+
+// DisabledHandler serves the endpoint shape when the daemon runs
+// without a -history directory: a 503 naming the flag, so scrapers
+// get an explanation instead of a 404.
+func DisabledHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "history disabled: start accordiond with -history DIR", http.StatusServiceUnavailable)
+	})
+}

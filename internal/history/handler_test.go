@@ -1,0 +1,96 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func handlerStore(t *testing.T) Store {
+	t.Helper()
+	st := Store{Dir: t.TempDir()}
+	for _, r := range goldenRecords() {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func get(t *testing.T, h http.Handler, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+	return rec
+}
+
+func TestHandlerJSON(t *testing.T) {
+	h := Handler(handlerStore(t))
+	rec := get(t, h, "/historyz")
+	if rec.Code != 200 || !strings.Contains(rec.Header().Get("Content-Type"), "json") {
+		t.Fatalf("code=%d ct=%q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	var doc struct {
+		Count   int      `json:"count"`
+		Records []Record `json:"records"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Count != 6 || len(doc.Records) != 6 {
+		t.Errorf("count=%d records=%d, want 6/6", doc.Count, len(doc.Records))
+	}
+	if doc.Records[len(doc.Records)-1].Profile == nil {
+		t.Error("profile lost in transport")
+	}
+
+	rec = get(t, h, "/historyz?last=2")
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Count != 6 || len(doc.Records) != 2 {
+		t.Errorf("last=2: count=%d records=%d", doc.Count, len(doc.Records))
+	}
+}
+
+func TestHandlerHTMLAndText(t *testing.T) {
+	h := Handler(handlerStore(t))
+	rec := get(t, h, "/historyz?format=html")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "<svg") {
+		t.Errorf("html: code=%d body=%.120s", rec.Code, rec.Body.String())
+	}
+	rec = get(t, h, "/historyz?format=text")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "== run history") {
+		t.Errorf("text: code=%d body=%.120s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestHandlerBadInput(t *testing.T) {
+	h := Handler(handlerStore(t))
+	if rec := get(t, h, "/historyz?format=yaml"); rec.Code != 400 {
+		t.Errorf("format=yaml: code=%d", rec.Code)
+	}
+	if rec := get(t, h, "/historyz?last=zero"); rec.Code != 400 {
+		t.Errorf("last=zero: code=%d", rec.Code)
+	}
+}
+
+func TestHandlerEmptyStore(t *testing.T) {
+	h := Handler(Store{Dir: t.TempDir()})
+	rec := get(t, h, "/historyz")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "\"records\": []") {
+		t.Errorf("empty json: code=%d body=%s", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/historyz?format=html"); rec.Code != 404 {
+		t.Errorf("empty html: code=%d", rec.Code)
+	}
+}
+
+func TestDisabledHandler(t *testing.T) {
+	rec := get(t, DisabledHandler(), "/historyz")
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), "-history") {
+		t.Errorf("code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}

@@ -1,0 +1,147 @@
+package history
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+)
+
+// WriteHTMLReport renders the trend report as one standalone HTML
+// page: no scripts, no external assets, one inline SVG sparkline per
+// metric row — the same shape the atlas exporter uses, golden-tested
+// the same way. Deterministic for a fixed record set.
+func WriteHTMLReport(w io.Writer, recs []Record, opt ReportOptions) error {
+	opt = opt.withDefaults()
+	d, err := buildReport(recs, opt)
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>run history</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #111; }
+h1 { font-size: 1.3rem; }
+table { border-collapse: collapse; }
+th, td { padding: 0.3rem 0.8rem; border-bottom: 1px solid #ddd; text-align: right; font-variant-numeric: tabular-nums; }
+th { border-bottom: 2px solid #888; }
+td.name, th.name { text-align: left; font-family: ui-monospace, monospace; }
+td.worse-up { color: #a33; }
+td.worse-down { color: #36a; }
+.spark polyline { fill: none; stroke: #36a; stroke-width: 1.5; }
+.spark circle { fill: #a33; }
+.meta { color: #555; }
+</style>
+</head>
+<body>
+`)
+	fmt.Fprintf(&b, "<h1>run history: %s</h1>\n", html.EscapeString(d.key))
+	fmt.Fprintf(&b, "<p class=\"meta\">store: %d record(s); trending last %d", d.total, d.trended)
+	if d.skipped > 0 {
+		fmt.Fprintf(&b, " (%d other-identity record(s) skipped)", d.skipped)
+	}
+	if d.newest.VCSRevision != "" {
+		fmt.Fprintf(&b, " · newest %.12s", html.EscapeString(d.newest.VCSRevision))
+		if d.newest.VCSDirty {
+			b.WriteString(" (dirty)")
+		}
+	}
+	b.WriteString("</p>\n")
+	if len(d.trends) == 0 {
+		b.WriteString("<p>no trended metrics</p>\n")
+	} else {
+		b.WriteString("<table>\n<tr><th class=\"name\">metric</th><th>worse</th><th>min</th><th>max</th><th>latest</th><th>trend</th></tr>\n")
+		for i := range d.trends {
+			t := &d.trends[i]
+			lo, hi, latest := seriesStats(t)
+			worseClass := ""
+			if t.worse != "" {
+				worseClass = " class=\"worse-" + t.worse + "\""
+			}
+			fmt.Fprintf(&b, "<tr><td class=\"name\">%s</td><td%s>%s</td><td>%.5g</td><td>%.5g</td><td>%.5g</td><td>%s</td></tr>\n",
+				html.EscapeString(t.name), worseClass, t.worse, lo, hi, latest, sparkSVG(t.values, t.ok))
+		}
+		b.WriteString("</table>\n")
+	}
+	writeHTMLHotspots(&b, d.newest.Profile, opt.TopN)
+	b.WriteString("</body>\n</html>\n")
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// sparkSVG renders one metric's series as an inline SVG polyline with
+// the latest point marked; absent records leave gaps.
+func sparkSVG(values []float64, ok []bool) string {
+	const width, height, pad = 120.0, 24.0, 2.0
+	lo, hi := 0.0, 0.0
+	any := false
+	for i, v := range values {
+		if !ok[i] {
+			continue
+		}
+		if !any || v < lo {
+			lo = v
+		}
+		if !any || v > hi {
+			hi = v
+		}
+		any = true
+	}
+	if !any {
+		return ""
+	}
+	step := 0.0
+	if len(values) > 1 {
+		step = (width - 2*pad) / float64(len(values)-1)
+	}
+	y := func(v float64) float64 {
+		if hi <= lo {
+			return height / 2
+		}
+		return pad + (height-2*pad)*(1-(v-lo)/(hi-lo))
+	}
+	var pts []string
+	lastX, lastY := pad, height/2
+	for i, v := range values {
+		if !ok[i] {
+			continue
+		}
+		x := pad + step*float64(i)
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y(v)))
+		lastX, lastY = x, y(v)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<svg class=\"spark\" width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">", width, height, width, height)
+	if len(pts) > 1 {
+		fmt.Fprintf(&b, "<polyline points=\"%s\"/>", strings.Join(pts, " "))
+	}
+	fmt.Fprintf(&b, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2\"/></svg>", lastX, lastY)
+	return b.String()
+}
+
+func writeHTMLHotspots(b *strings.Builder, p *ProfileSummary, topN int) {
+	if p == nil {
+		return
+	}
+	write := func(label string, spots []Hotspot) {
+		if len(spots) == 0 {
+			return
+		}
+		fmt.Fprintf(b, "<h1>%s hotspots (newest record)</h1>\n", label)
+		b.WriteString("<table>\n<tr><th>flat</th><th>cum</th><th class=\"name\">function</th></tr>\n")
+		if len(spots) > topN {
+			spots = spots[:topN]
+		}
+		for _, h := range spots {
+			fmt.Fprintf(b, "<tr><td>%.2f%%</td><td>%.2f%%</td><td class=\"name\">%s</td></tr>\n",
+				h.FlatPct, h.CumPct, html.EscapeString(h.Func))
+		}
+		b.WriteString("</table>\n")
+	}
+	write("cpu", p.CPU)
+	write("heap", p.Heap)
+}

@@ -1,0 +1,342 @@
+package history
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is a minimal reader for the pprof profile.proto wire
+// format — just enough protobuf (varints, length-delimited fields,
+// packed repeated ints) to turn a runtime/pprof capture into a table
+// of flat/cumulative percentages per function. The repository is
+// zero-dependency by policy, so rather than import the pprof module
+// the parser decodes the five fields it needs and skips everything
+// else:
+//
+//	Profile:  1 sample_type (ValueType)   repeated
+//	          2 sample (Sample)           repeated
+//	          4 location (Location)       repeated
+//	          5 function (Function)       repeated
+//	          6 string_table (string)     repeated
+//	Sample:   1 location_id (uint64)      repeated (packed or not)
+//	          2 value (int64)             repeated (packed or not)
+//	Location: 1 id, 4 line (Line)         repeated
+//	Line:     1 function_id
+//	Function: 1 id, 2 name (string-table index)
+//	ValueType: 1 type, 2 unit             (string-table indices)
+
+// Hotspot is one function's share of a profile dimension. Flat is
+// the sample weight whose leaf frame is the function; Cum counts
+// every sample the function appears anywhere in (deduplicated per
+// sample, so recursion does not double-count).
+type Hotspot struct {
+	Func    string  `json:"func"`
+	FlatPct float64 `json:"flat_pct"`
+	CumPct  float64 `json:"cum_pct"`
+}
+
+type profSample struct {
+	locs   []uint64
+	values []int64
+}
+
+type profData struct {
+	sampleTypes []string // value-type names, indexed like Sample.value
+	samples     []profSample
+	locFuncs    map[uint64][]uint64 // location id → function ids, leaf inline first
+	funcNames   map[uint64]string
+}
+
+// parseProfile decodes a (possibly gzipped) profile.proto blob.
+func parseProfile(data []byte) (*profData, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("history: profile gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("history: profile gunzip: %w", err)
+		}
+		data = raw
+	}
+	p := &profData{locFuncs: map[uint64][]uint64{}, funcNames: map[uint64]string{}}
+	var strtab []string
+	var typeIdxs []uint64
+	type pendingFunc struct{ id, nameIdx uint64 }
+	var pending []pendingFunc
+	err := walkFields(data, func(tag uint64, num uint64, sub []byte) error {
+		switch tag {
+		case 1: // sample_type
+			idx, err := valueTypeTypeIdx(sub)
+			if err != nil {
+				return err
+			}
+			typeIdxs = append(typeIdxs, idx)
+		case 2: // sample
+			s, err := parseSample(sub)
+			if err != nil {
+				return err
+			}
+			p.samples = append(p.samples, s)
+		case 4: // location
+			id, fns, err := parseLocation(sub)
+			if err != nil {
+				return err
+			}
+			p.locFuncs[id] = fns
+		case 5: // function
+			var pf pendingFunc
+			var err error
+			pf.id, pf.nameIdx, err = parseFunction(sub)
+			if err != nil {
+				return err
+			}
+			pending = append(pending, pf)
+		case 6: // string_table
+			strtab = append(strtab, string(sub))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pf := range pending {
+		if pf.nameIdx < uint64(len(strtab)) {
+			p.funcNames[pf.id] = strtab[pf.nameIdx]
+		}
+	}
+	for _, idx := range typeIdxs {
+		name := ""
+		if idx < uint64(len(strtab)) {
+			name = strtab[idx]
+		}
+		p.sampleTypes = append(p.sampleTypes, name)
+	}
+	return p, nil
+}
+
+// walkFields iterates a protobuf message's fields, calling fn with the
+// field tag plus either the varint value (wire type 0) or the
+// length-delimited payload (wire type 2); fixed32/64 fields are
+// skipped.
+func walkFields(data []byte, fn func(tag uint64, num uint64, sub []byte) error) error {
+	for len(data) > 0 {
+		key, n := uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("history: profile: bad field key")
+		}
+		data = data[n:]
+		tag, wire := key>>3, key&7
+		switch wire {
+		case 0: // varint
+			v, n := uvarint(data)
+			if n <= 0 {
+				return fmt.Errorf("history: profile: bad varint in field %d", tag)
+			}
+			data = data[n:]
+			if err := fn(tag, v, nil); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(data) < 8 {
+				return fmt.Errorf("history: profile: truncated fixed64 in field %d", tag)
+			}
+			data = data[8:]
+		case 2: // length-delimited
+			l, n := uvarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return fmt.Errorf("history: profile: bad length in field %d", tag)
+			}
+			if err := fn(tag, 0, data[n:n+int(l)]); err != nil {
+				return err
+			}
+			data = data[n+int(l):]
+		case 5: // fixed32
+			if len(data) < 4 {
+				return fmt.Errorf("history: profile: truncated fixed32 in field %d", tag)
+			}
+			data = data[4:]
+		default:
+			return fmt.Errorf("history: profile: unsupported wire type %d in field %d", wire, tag)
+		}
+	}
+	return nil
+}
+
+// uvarint is binary.Uvarint without the import ceremony: value plus
+// bytes consumed, n <= 0 on malformed input.
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+// repeatedUints decodes a repeated integer field body: a varint when
+// sub is nil (unpacked element), the packed payload otherwise.
+func repeatedUints(dst []uint64, num uint64, sub []byte) ([]uint64, error) {
+	if sub == nil {
+		return append(dst, num), nil
+	}
+	for len(sub) > 0 {
+		v, n := uvarint(sub)
+		if n <= 0 {
+			return nil, fmt.Errorf("history: profile: bad packed varint")
+		}
+		dst = append(dst, v)
+		sub = sub[n:]
+	}
+	return dst, nil
+}
+
+// parseSample decodes Sample: repeated location ids and values.
+func parseSample(data []byte) (profSample, error) {
+	var s profSample
+	err := walkFields(data, func(tag uint64, num uint64, sub []byte) error {
+		var err error
+		switch tag {
+		case 1:
+			s.locs, err = repeatedUints(s.locs, num, sub)
+		case 2:
+			var vals []uint64
+			vals, err = repeatedUints(nil, num, sub)
+			for _, v := range vals {
+				s.values = append(s.values, int64(v))
+			}
+		}
+		return err
+	})
+	return s, err
+}
+
+// parseLocation decodes Location: its id and the function ids of its
+// Line entries (leaf inline frame first, per the pprof spec).
+func parseLocation(data []byte) (id uint64, fns []uint64, err error) {
+	err = walkFields(data, func(tag uint64, num uint64, sub []byte) error {
+		switch tag {
+		case 1:
+			id = num
+		case 4: // Line
+			return walkFields(sub, func(ltag uint64, lnum uint64, lsub []byte) error {
+				if ltag == 1 {
+					fns = append(fns, lnum)
+				}
+				return nil
+			})
+		}
+		return nil
+	})
+	return id, fns, err
+}
+
+// parseFunction decodes Function: its id and name string-table index.
+func parseFunction(data []byte) (id, nameIdx uint64, err error) {
+	err = walkFields(data, func(tag uint64, num uint64, sub []byte) error {
+		switch tag {
+		case 1:
+			id = num
+		case 2:
+			nameIdx = num
+		}
+		return nil
+	})
+	return id, nameIdx, err
+}
+
+// valueTypeTypeIdx decodes ValueType's type string-table index.
+func valueTypeTypeIdx(data []byte) (uint64, error) {
+	var idx uint64
+	err := walkFields(data, func(tag uint64, num uint64, sub []byte) error {
+		if tag == 1 {
+			idx = num
+		}
+		return nil
+	})
+	return idx, err
+}
+
+// valueIndex picks which Sample.value column to rank by: the first
+// sample type whose name appears in prefer, else the last column
+// (pprof convention puts the default dimension last).
+func (p *profData) valueIndex(prefer []string) int {
+	for _, want := range prefer {
+		for i, name := range p.sampleTypes {
+			if name == want {
+				return i
+			}
+		}
+	}
+	return len(p.sampleTypes) - 1
+}
+
+// hotspots ranks functions by flat weight in the chosen value column,
+// returning the top n plus the total weight.
+func (p *profData) hotspots(valueIdx, n int) ([]Hotspot, int64) {
+	if valueIdx < 0 {
+		return nil, 0
+	}
+	flat := map[string]int64{}
+	cum := map[string]int64{}
+	var total int64
+	seen := map[string]bool{}
+	for _, s := range p.samples {
+		if valueIdx >= len(s.values) || len(s.locs) == 0 {
+			continue
+		}
+		v := s.values[valueIdx]
+		if v == 0 {
+			continue
+		}
+		total += v
+		clear(seen)
+		for i, loc := range s.locs {
+			fns := p.locFuncs[loc]
+			for j, fnID := range fns {
+				name := p.funcNames[fnID]
+				if name == "" {
+					continue
+				}
+				if i == 0 && j == 0 {
+					flat[name] += v
+				}
+				if !seen[name] {
+					seen[name] = true
+					cum[name] += v
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return nil, 0
+	}
+	names := make([]string, 0, len(flat))
+	for name := range flat {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(a, b int) bool {
+		if flat[names[a]] != flat[names[b]] {
+			return flat[names[a]] > flat[names[b]]
+		}
+		return names[a] < names[b]
+	})
+	if n > 0 && len(names) > n {
+		names = names[:n]
+	}
+	spots := make([]Hotspot, 0, len(names))
+	for _, name := range names {
+		spots = append(spots, Hotspot{
+			Func:    name,
+			FlatPct: 100 * float64(flat[name]) / float64(total),
+			CumPct:  100 * float64(cum[name]) / float64(total),
+		})
+	}
+	return spots, total
+}

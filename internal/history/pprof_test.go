@@ -1,0 +1,178 @@
+package history
+
+import (
+	"bytes"
+	"math"
+	"runtime/pprof"
+	"testing"
+)
+
+// Protobuf encoding helpers for building a synthetic profile.proto
+// blob with known sample weights, so the flat/cum arithmetic is
+// pinned against hand-computed percentages rather than whatever the
+// runtime happened to sample.
+
+func pbVarint(dst []byte, tag int, v uint64) []byte {
+	dst = append(dst, byte(tag<<3))
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func pbBytes(dst []byte, tag int, sub []byte) []byte {
+	dst = append(dst, byte(tag<<3|2))
+	dst = pbLen(dst, uint64(len(sub)))
+	return append(dst, sub...)
+}
+
+func pbLen(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// syntheticProfile builds a two-sample profile:
+//
+//	sample A: stack [leaf=f1, f2], value 75
+//	sample B: stack [leaf=f2, f2]  (recursion), value 25
+//
+// so flat is f1 75%, f2 25%, and cum is f1 75%, f2 100% — with the
+// recursive frame deduplicated, not double-counted.
+func syntheticProfile(t *testing.T, packed bool) []byte {
+	t.Helper()
+	strtab := []string{"", "cpu", "nanoseconds", "pkg.f1", "pkg.f2"}
+
+	var vt []byte // ValueType{type: "cpu"}
+	vt = pbVarint(vt, 1, 1)
+	vt = pbVarint(vt, 2, 2)
+
+	fn := func(id, nameIdx uint64) []byte {
+		var b []byte
+		b = pbVarint(b, 1, id)
+		b = pbVarint(b, 2, nameIdx)
+		return b
+	}
+	loc := func(id, fnID uint64) []byte {
+		var line []byte
+		line = pbVarint(line, 1, fnID)
+		var b []byte
+		b = pbVarint(b, 1, id)
+		b = pbBytes(b, 4, line)
+		return b
+	}
+	sample := func(locs []uint64, value uint64) []byte {
+		var b []byte
+		if packed {
+			var pk []byte
+			for _, l := range locs {
+				pk = pbLen(pk, l)
+			}
+			b = pbBytes(b, 1, pk)
+			var pv []byte
+			pv = pbLen(pv, value)
+			b = pbBytes(b, 2, pv)
+		} else {
+			for _, l := range locs {
+				b = pbVarint(b, 1, l)
+			}
+			b = pbVarint(b, 2, value)
+		}
+		return b
+	}
+
+	var p []byte
+	p = pbBytes(p, 1, vt)
+	p = pbBytes(p, 2, sample([]uint64{1, 2}, 75))    // f1 leaf, f2 caller
+	p = pbBytes(p, 2, sample([]uint64{2, 2, 1}, 25)) // f2 recursing under f1
+	p = pbBytes(p, 4, loc(1, 10))
+	p = pbBytes(p, 4, loc(2, 11))
+	p = pbBytes(p, 5, fn(10, 3))
+	p = pbBytes(p, 5, fn(11, 4))
+	for _, s := range strtab {
+		p = pbBytes(p, 6, []byte(s))
+	}
+	return p
+}
+
+func checkSyntheticHotspots(t *testing.T, data []byte) {
+	t.Helper()
+	prof, err := parseProfile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := prof.valueIndex([]string{"cpu"})
+	if idx != 0 {
+		t.Fatalf("valueIndex = %d, want 0", idx)
+	}
+	spots, total := prof.hotspots(idx, 10)
+	if total != 100 {
+		t.Fatalf("total = %d, want 100", total)
+	}
+	if len(spots) != 2 {
+		t.Fatalf("hotspots = %+v, want 2", spots)
+	}
+	f1, f2 := spots[0], spots[1]
+	if f1.Func != "pkg.f1" || math.Abs(f1.FlatPct-75) > 1e-9 || math.Abs(f1.CumPct-100) > 1e-9 {
+		t.Errorf("f1 = %+v, want flat 75 cum 100", f1)
+	}
+	if f2.Func != "pkg.f2" || math.Abs(f2.FlatPct-25) > 1e-9 || math.Abs(f2.CumPct-100) > 1e-9 {
+		t.Errorf("f2 = %+v, want flat 25 cum 100 (recursion deduplicated)", f2)
+	}
+}
+
+func TestParseSyntheticProfileUnpacked(t *testing.T) {
+	checkSyntheticHotspots(t, syntheticProfile(t, false))
+}
+
+func TestParseSyntheticProfilePacked(t *testing.T) {
+	checkSyntheticHotspots(t, syntheticProfile(t, true))
+}
+
+// TestParseRealHeapProfile round-trips an actual runtime/pprof
+// "allocs" capture (gzipped protobuf) through the parser: the wire
+// format the stdlib emits today must decode, name functions from this
+// module, and attribute nonzero alloc_space.
+func TestParseRealHeapProfile(t *testing.T) {
+	churn(1 << 16)
+	var buf bytes.Buffer
+	if err := pprof.Lookup("allocs").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := parseProfile(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := prof.valueIndex([]string{"alloc_space"})
+	spots, total := prof.hotspots(idx, 10)
+	if total <= 0 || len(spots) == 0 {
+		t.Fatalf("real profile yielded total=%d spots=%d", total, len(spots))
+	}
+	for _, h := range spots {
+		if h.Func == "" || h.FlatPct < 0 || h.CumPct < h.FlatPct-1e-9 {
+			t.Errorf("implausible hotspot %+v", h)
+		}
+	}
+}
+
+// sink defeats dead-allocation elimination in churn.
+var sink []byte
+
+//go:noinline
+func churn(n int) {
+	for i := 0; i < 32; i++ {
+		sink = make([]byte, n)
+	}
+}
+
+func TestParseProfileRejectsGarbage(t *testing.T) {
+	if _, err := parseProfile([]byte{0x1f, 0x8b, 0x00}); err == nil {
+		t.Error("truncated gzip accepted")
+	}
+	if _, err := parseProfile([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Error("garbage protobuf accepted")
+	}
+}

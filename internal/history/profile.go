@@ -1,0 +1,88 @@
+package history
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/pprof"
+)
+
+// ProfileSummary is the self-profiling digest embedded in a Record:
+// top-N flat hotspots for CPU time and allocated space, diffable
+// across runs without opening a pprof file.
+type ProfileSummary struct {
+	CPU            []Hotspot `json:"cpu,omitempty"`
+	Heap           []Hotspot `json:"heap,omitempty"`
+	CPUTotalNs     int64     `json:"cpu_total_ns,omitempty"`
+	HeapTotalBytes int64     `json:"heap_total_bytes,omitempty"`
+}
+
+// ProfileOptions selects what CaptureProfile records. The zero value
+// disables capture entirely.
+type ProfileOptions struct {
+	CPU  bool
+	Heap bool
+	// TopN caps hotspots per dimension (default 10).
+	TopN int
+}
+
+// CaptureProfile runs fn, optionally bracketed by a pprof CPU capture
+// and followed by a heap ("allocs" since start) capture, and
+// summarizes both into hotspot tables. With the zero ProfileOptions
+// the hook is pass-through: fn is invoked directly, no profiler is
+// touched, and the call adds zero allocations
+// (TestProfileDisabledOverhead pins this, the same contract as
+// telemetry's disabled path).
+//
+// fn's error is returned as-is; a profiling failure wraps it only
+// when fn itself succeeded, so a run's real failure is never masked
+// by a profiler complaint.
+func CaptureProfile(opts ProfileOptions, fn func() error) (*ProfileSummary, error) {
+	if !opts.CPU && !opts.Heap {
+		return nil, fn()
+	}
+	topN := opts.TopN
+	if topN <= 0 {
+		topN = 10
+	}
+	var cpuBuf bytes.Buffer
+	if opts.CPU {
+		if err := pprof.StartCPUProfile(&cpuBuf); err != nil {
+			return nil, fmt.Errorf("history: start cpu profile: %w", err)
+		}
+	}
+	fnErr := fn()
+	if opts.CPU {
+		pprof.StopCPUProfile()
+	}
+	var heapBuf bytes.Buffer
+	if opts.Heap {
+		if p := pprof.Lookup("allocs"); p != nil {
+			if err := p.WriteTo(&heapBuf, 0); err != nil && fnErr == nil {
+				return nil, fmt.Errorf("history: heap profile: %w", err)
+			}
+		}
+	}
+	sum := &ProfileSummary{}
+	if opts.CPU && cpuBuf.Len() > 0 {
+		prof, err := parseProfile(cpuBuf.Bytes())
+		if err != nil {
+			if fnErr == nil {
+				return nil, err
+			}
+			return nil, fnErr
+		}
+		// The CPU profile's columns are samples/count then cpu/ns.
+		sum.CPU, sum.CPUTotalNs = prof.hotspots(prof.valueIndex([]string{"cpu"}), topN)
+	}
+	if opts.Heap && heapBuf.Len() > 0 {
+		prof, err := parseProfile(heapBuf.Bytes())
+		if err != nil {
+			if fnErr == nil {
+				return nil, err
+			}
+			return nil, fnErr
+		}
+		sum.Heap, sum.HeapTotalBytes = prof.hotspots(prof.valueIndex([]string{"alloc_space"}), topN)
+	}
+	return sum, fnErr
+}

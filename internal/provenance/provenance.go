@@ -56,6 +56,7 @@ type Manifest struct {
 	GoVersion   string            `json:"go_version"`
 	Module      string            `json:"module,omitempty"`
 	VCSRevision string            `json:"vcs_revision,omitempty"`
+	VCSModified bool              `json:"vcs_modified,omitempty"`
 	Start       time.Time         `json:"start"`
 	End         time.Time         `json:"end"`
 	WallMs      int64             `json:"wall_ms"`
@@ -79,8 +80,11 @@ func New(tool string) *Manifest {
 	if info, ok := debug.ReadBuildInfo(); ok {
 		m.Module = info.Main.Path
 		for _, s := range info.Settings {
-			if s.Key == "vcs.revision" {
+			switch s.Key {
+			case "vcs.revision":
 				m.VCSRevision = s.Value
+			case "vcs.modified":
+				m.VCSModified = s.Value == "true"
 			}
 		}
 	}

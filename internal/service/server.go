@@ -50,6 +50,14 @@ type Config struct {
 	// load balancers stop routing to an instance burning its error
 	// budget. Nil means always ready.
 	ReadyCheck func() error
+	// OnJobDone, when set, is called once per worker-completed job
+	// (done or failed), after the job reaches its terminal state and
+	// outside the server lock. The daemon wires its run-history
+	// recorder here to batch records per completed work. Jobs failed
+	// administratively by a shutdown deadline — never picked up by a
+	// worker — do not fire it. Nil costs nothing on the completion
+	// path.
+	OnJobDone func()
 }
 
 const (
@@ -266,6 +274,9 @@ func (s *Server) run(ctx context.Context, j *Job) {
 	addCacheStats(man, j.scope)
 	man.Finish()
 	s.finish(j, body, err, man)
+	if s.cfg.OnJobDone != nil {
+		s.cfg.OnJobDone()
+	}
 }
 
 // finish moves a job to its terminal state exactly once; late arrivals

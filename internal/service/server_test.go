@@ -269,6 +269,40 @@ func TestShutdownDeadline(t *testing.T) {
 	}
 }
 
+// TestOnJobDoneHook pins the run-history integration point: the hook
+// fires exactly once per worker-completed job (coalesced duplicates
+// share one execution, so one firing), and never for jobs a shutdown
+// deadline failed administratively.
+func TestOnJobDoneHook(t *testing.T) {
+	var mu sync.Mutex
+	done := 0
+	_, ts := startServer(t, Config{QueueDepth: 4, Workers: 1, OnJobDone: func() {
+		mu.Lock()
+		done++
+		mu.Unlock()
+	}})
+
+	postJSON(t, ts.URL+"/run", reqBody(41))
+	postJSON(t, ts.URL+"/run", reqBody(41)) // coalesces: same execution
+	postJSON(t, ts.URL+"/run", reqBody(42))
+
+	// The hook fires just after the synchronous responder unblocks;
+	// give the worker goroutine a beat to get there.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := done
+		mu.Unlock()
+		if n >= 2 || time.Now().After(deadline) {
+			if n != 2 {
+				t.Fatalf("OnJobDone fired %d time(s), want 2", n)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // TestResetCachesRace hammers concurrent service requests against
 // experiments.ResetCaches under the race detector: the cache gate must
 // make resets atomic with respect to running jobs. Run with -race to

@@ -155,6 +155,57 @@ func TestHistogramQuantileSpread(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileBucketBoundary pins interpolation at the exact
+// power-of-two bucket edges. 1023 and 1024 straddle a boundary: they
+// land in adjacent buckets, and in-bucket interpolation would report
+// 1023's bucket ceiling (1023) and 1024's ceiling (2047) — so the
+// quantiles must come back clamped to the observed [1023, 1024]
+// envelope, not the raw bucket geometry.
+func TestHistogramQuantileBucketBoundary(t *testing.T) {
+	defer SetEnabled(true)()
+	h := GetHistogram("test.quantile.boundary")
+	h.reset()
+	h.Observe(1023)
+	h.Observe(1024)
+	s := h.snapshot()
+	if s.P50 != 1023 {
+		t.Errorf("p50 = %d, want 1023 (lower boundary value)", s.P50)
+	}
+	if s.P99 != 1024 {
+		t.Errorf("p99 = %d, want 1024 (interpolated 2047 must clamp to max)", s.P99)
+	}
+	if !(s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Errorf("quantiles out of order: min=%d p50=%d p95=%d p99=%d max=%d",
+			s.Min, s.P50, s.P95, s.P99, s.Max)
+	}
+}
+
+// TestHistogramQuantileTwoBucketSplit pins the rank walk across
+// buckets for a bimodal split of exact powers of two: the median
+// resolves to the lower mode's bucket, the tail quantiles to the
+// upper mode clamped at the observed max, and the p50<=p95<=p99 chain
+// holds exactly.
+func TestHistogramQuantileTwoBucketSplit(t *testing.T) {
+	defer SetEnabled(true)()
+	h := GetHistogram("test.quantile.twobucket")
+	h.reset()
+	for i := 0; i < 50; i++ {
+		h.Observe(1024)
+		h.Observe(2048)
+	}
+	s := h.snapshot()
+	if s.P50 < 1024 || s.P50 > 2047 {
+		t.Errorf("p50 = %d, want inside 1024's bucket [1024, 2047]", s.P50)
+	}
+	if s.P95 != 2048 || s.P99 != 2048 {
+		t.Errorf("p95/p99 = %d/%d, want 2048/2048 (clamped to observed max)", s.P95, s.P99)
+	}
+	if !(s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Errorf("quantiles out of order: min=%d p50=%d p95=%d p99=%d max=%d",
+			s.Min, s.P50, s.P95, s.P99, s.Max)
+	}
+}
+
 // TestHistogramNegativeClamps checks negative observations clamp to
 // zero instead of corrupting the bucket index.
 func TestHistogramNegativeClamps(t *testing.T) {

@@ -110,6 +110,27 @@ func TestWindowQuantilesOrdered(t *testing.T) {
 	}
 }
 
+// TestWindowSingleObservation pins the degenerate one-sample window:
+// every quantile must report the one value (an interpolated bucket
+// ceiling leaking out here would inflate a quiet service's p99 by up
+// to 2x), and the error-free rate fields must stay finite.
+func TestWindowSingleObservation(t *testing.T) {
+	defer SetEnabled(true)()
+	w, _ := newTestWindow(t, "test.window.single")
+	w.Observe(777)
+	st := w.Stats(time.Minute)
+	if st.Count != 1 {
+		t.Fatalf("count = %d, want 1", st.Count)
+	}
+	if st.Min != 777 || st.P50 != 777 || st.P95 != 777 || st.P99 != 777 || st.Max != 777 {
+		t.Errorf("single observation not reported at every quantile: min=%d p50=%d p95=%d p99=%d max=%d",
+			st.Min, st.P50, st.P95, st.P99, st.Max)
+	}
+	if st.ErrorRate != 0 {
+		t.Errorf("error rate = %g, want 0", st.ErrorRate)
+	}
+}
+
 // TestWindowBucketRecycle pins the lazy-reset path: when the ring wraps
 // onto a stale bucket (exactly WindowSpan later), the old second's data
 // is discarded rather than merged.

@@ -17,6 +17,17 @@ cd "$(dirname "$0")/.." || exit 1
 out="${1:-BENCH_field.json}"
 benchtime="${BENCHTIME:-10x}"
 
+# VCS identity: a benchmark number nobody can attribute to a commit is
+# noise, so refuse to write one rather than stamp it blank.
+if ! rev=$(git rev-parse HEAD 2>/dev/null); then
+    echo "bench_field: git rev-parse HEAD failed; refusing to write an unattributable benchmark record" >&2
+    exit 1
+fi
+dirty=false
+[ -n "$(git status --porcelain 2>/dev/null)" ] && dirty=true
+gomaxprocs=$(go env GOMAXPROCS 2>/dev/null || echo 0)
+[ "$gomaxprocs" -gt 0 ] 2>/dev/null || gomaxprocs=$(getconf _NPROCESSORS_ONLN)
+
 # Prints "<ns/op> <allocs/op>" for one benchmark.
 bench() {
     go test -run '^$' -bench "^$1\$" -benchtime "$benchtime" -benchmem \
@@ -60,10 +71,14 @@ c128=$(run BenchmarkFieldCirculant128x128)
 cfin=$(run BenchmarkFieldCirculant288core)
 
 awk -v d16="$d16" -v c16="$c16" -v d64="$d64" -v c64="$c64" \
-    -v c128="$c128" -v cfin="$cfin" -v benchtime="$benchtime" 'BEGIN {
+    -v c128="$c128" -v cfin="$cfin" -v benchtime="$benchtime" \
+    -v rev="$rev" -v dirty="$dirty" -v gomaxprocs="$gomaxprocs" 'BEGIN {
     split(d16, D16); split(c16, C16); split(d64, D64); split(c64, C64)
     split(c128, C128); split(cfin, CF)
     printf "{\n"
+    printf "  \"vcs_revision\": \"%s\",\n", rev
+    printf "  \"vcs_dirty\": %s,\n", dirty
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"grid_16x16\": {\"points\": 256, \"dense_ns_op\": %s, \"circulant_ns_op\": %s, \"speedup\": %.2f, \"circulant_allocs_op\": %s},\n", D16[1], C16[1], D16[1]/C16[1], C16[2]
     printf "  \"grid_64x64\": {\"points\": 4096, \"dense_ns_op\": %s, \"circulant_ns_op\": %s, \"speedup\": %.2f, \"circulant_allocs_op\": %s},\n", D64[1], C64[1], D64[1]/C64[1], C64[2]
@@ -74,3 +89,10 @@ awk -v d16="$d16" -v c16="$c16" -v d64="$d64" -v c64="$c64" \
 
 echo "wrote $out:" >&2
 cat "$out"
+
+# With HISTORY_DIR set, the run also lands in the cross-run history
+# store so `accordionhist check` can gate the next one against it.
+if [ -n "${HISTORY_DIR:-}" ]; then
+    go run ./cmd/accordionhist append -dir "$HISTORY_DIR" \
+        -tool bench_field -kind bench -bench "$out"
+fi

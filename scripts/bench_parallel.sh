@@ -15,6 +15,15 @@ cd "$(dirname "$0")/.." || exit 1
 out="${1:-BENCH_parallel.json}"
 benchtime="${BENCHTIME:-2x}"
 
+# VCS identity: a benchmark number nobody can attribute to a commit is
+# noise, so refuse to write one rather than stamp it blank.
+if ! rev=$(git rev-parse HEAD 2>/dev/null); then
+    echo "bench_parallel: git rev-parse HEAD failed; refusing to write an unattributable benchmark record" >&2
+    exit 1
+fi
+dirty=false
+[ -n "$(git status --porcelain 2>/dev/null)" ] && dirty=true
+
 nsop() {
     go test -run '^$' -bench "^$1\$" -benchtime "$benchtime" . \
         | awk -v b="$1" '$1 ~ "^"b {print $3; exit}'
@@ -56,8 +65,12 @@ cores=$(go env GOMAXPROCS 2>/dev/null || echo 0)
 [ "$cores" -gt 0 ] 2>/dev/null || cores=$(getconf _NPROCESSORS_ONLN)
 
 awk -v ps="$pop_seq" -v pp="$pop_par" -v as="$all_seq" -v ap="$all_par" \
-    -v cores="$cores" -v benchtime="$benchtime" 'BEGIN {
+    -v cores="$cores" -v benchtime="$benchtime" \
+    -v rev="$rev" -v dirty="$dirty" 'BEGIN {
     printf "{\n"
+    printf "  \"vcs_revision\": \"%s\",\n", rev
+    printf "  \"vcs_dirty\": %s,\n", dirty
+    printf "  \"gomaxprocs\": %d,\n", cores
     printf "  \"cores\": %d,\n", cores
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"population\": {\"sequential_ns_op\": %s, \"parallel_ns_op\": %s, \"speedup\": %.2f},\n", ps, pp, ps/pp
@@ -67,3 +80,10 @@ awk -v ps="$pop_seq" -v pp="$pop_par" -v as="$all_seq" -v ap="$all_par" \
 
 echo "wrote $out:" >&2
 cat "$out"
+
+# With HISTORY_DIR set, the run also lands in the cross-run history
+# store so `accordionhist check` can gate the next one against it.
+if [ -n "${HISTORY_DIR:-}" ]; then
+    go run ./cmd/accordionhist append -dir "$HISTORY_DIR" \
+        -tool bench_parallel -kind bench -bench "$out"
+fi

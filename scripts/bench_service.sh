@@ -27,6 +27,17 @@ p99max="${P99_MAX:-5s}"
 slop99="${SLO_P99:-60s}"
 sloerr="${SLO_ERROR_RATE:-1}"
 
+# VCS identity: a benchmark number nobody can attribute to a commit is
+# noise, so refuse to write one rather than stamp it blank.
+if ! rev=$(git rev-parse HEAD 2>/dev/null); then
+    echo "bench_service: git rev-parse HEAD failed; refusing to write an unattributable benchmark record" >&2
+    exit 1
+fi
+dirty=false
+[ -n "$(git status --porcelain 2>/dev/null)" ] && dirty=true
+gomaxprocs=$(go env GOMAXPROCS 2>/dev/null || echo 0)
+[ "$gomaxprocs" -gt 0 ] 2>/dev/null || gomaxprocs=$(getconf _NPROCESSORS_ONLN)
+
 go build -o accordiond ./cmd/accordiond
 
 echo "bench_service: starting accordiond on $addr (queue $queue, $workers workers)..." >&2
@@ -40,7 +51,8 @@ trap 'kill "$pid" 2>/dev/null || true' EXIT INT TERM
 ./accordiond -load "http://$addr" \
     -load-requests "$requests" -load-concurrency "$concurrency" \
     -load-distinct "$distinct" -load-overflow "$overflow" \
-    -load-p99-max "$p99max" -load-out "$out"
+    -load-p99-max "$p99max" -load-out "$out" \
+    -load-revision "$rev" -load-dirty="$dirty" -load-gomaxprocs "$gomaxprocs"
 
 echo "bench_service: draining accordiond (SIGTERM)..." >&2
 kill -TERM "$pid"
@@ -50,3 +62,10 @@ if ! wait "$pid"; then
     exit 1
 fi
 echo "bench_service: graceful drain OK; wrote $out" >&2
+
+# With HISTORY_DIR set, the run also lands in the cross-run history
+# store so `accordionhist check` can gate the next one against it.
+if [ -n "${HISTORY_DIR:-}" ]; then
+    go run ./cmd/accordionhist append -dir "$HISTORY_DIR" \
+        -tool bench_service -kind bench -bench "$out"
+fi
